@@ -1,0 +1,42 @@
+"""F1: Figure 1 — the full interactive loop, end to end.
+
+Measures the complete frontend↔backend cycle on the Intel workload:
+execute → visualize → select S → zoom → select D' → error form →
+debug → click predicate → re-execute → undo. This is the latency an
+attendee of the demo would experience per interaction round.
+"""
+
+import numpy as np
+
+from repro.frontend import Brush, DBWipesSession
+
+
+def test_fig1_full_interactive_loop(benchmark, intel_workload):
+    db, __, __ = intel_workload
+
+    def loop():
+        session = DBWipesSession(db)
+        session.execute(
+            "SELECT minute / 30 AS w, avg(temp) AS avg_temp, "
+            "stddev(temp) AS std_temp FROM readings GROUP BY minute / 30 "
+            "ORDER BY w"
+        )
+        std = np.asarray(session.result.column("std_temp"))
+        cutoff = 4 * float(np.median(std))
+        session.select_results(Brush.above(cutoff), y="std_temp")
+        session.zoom()
+        session.select_inputs(Brush.above(100.0))
+        session.error_form("std_temp")
+        session.set_metric("too_high", agg_name="std_temp")
+        report = session.debug()
+        session.apply_predicate(0)
+        session.undo_cleaning()
+        return report
+
+    report = benchmark(loop)
+    assert len(report) > 0
+    assert report.best.relative_error_reduction > 0.9
+
+    print("\nFigure 1 loop stage timings (last run):")
+    for stage, seconds in report.timings.items():
+        print(f"  {stage:22s} {1000 * seconds:8.1f} ms")

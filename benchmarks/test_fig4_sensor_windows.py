@@ -1,0 +1,60 @@
+"""F4: Figure 4 — avg/stddev temperature per 30-minute window, plus zoom.
+
+Regenerates the left panel's data series (window → avg, stddev) and the
+right panel's zoom (per-tuple temperatures of the highlighted windows),
+asserting the shapes DESIGN.md commits to:
+
+* high-stddev windows exist and are a minority;
+* zooming exposes tuples above 100°F belonging only to failing sensors.
+"""
+
+import numpy as np
+
+
+def _run_window_query(db):
+    return db.sql(
+        "SELECT minute / 30 AS w, avg(temp) AS avg_temp, "
+        "stddev(temp) AS std_temp FROM readings GROUP BY minute / 30 "
+        "ORDER BY w"
+    )
+
+
+def test_fig4_left_window_series(benchmark, intel_workload):
+    db, table, __ = intel_workload
+    result = benchmark(_run_window_query, db)
+
+    std = np.asarray(result.column("std_temp"))
+    avg = np.asarray(result.column("avg_temp"))
+    typical = float(np.median(std))
+    high = std > 4 * typical
+    assert 0 < high.sum() < len(std) / 2, "anomalous windows must be a minority"
+    # The paper's plot: suspicious windows stand far above the band.
+    assert std[high].min() > 3 * typical
+
+    print("\nFigure 4 (left) series — window, avg_temp, std_temp:")
+    for i in range(result.num_rows):
+        marker = "  <-- suspicious" if high[i] else ""
+        print(f"  w={result.row(i)[0]:>3}  avg={avg[i]:7.2f}  "
+              f"std={std[i]:6.2f}{marker}")
+
+
+def test_fig4_right_zoom_tuples(benchmark, intel_workload, intel_result,
+                                intel_selection):
+    __, table, truth = intel_workload
+    S, F, dprime = intel_selection
+
+    zoomed = benchmark(intel_result.inputs_for, S)
+
+    temps = np.asarray(zoomed.column("temp"))
+    hot = temps > 100.0
+    assert hot.sum() > 0, "zoom must expose >100-degree tuples"
+    hot_tids = np.asarray(zoomed.tids)[hot]
+    hot_sensors = sorted(
+        set(int(s) for s in np.asarray(zoomed.column("sensorid"))[hot])
+    )
+    assert hot_sensors == [15, 18], "hot tuples come from the failing motes"
+    truth_set = set(int(t) for t in truth.tids)
+    assert all(int(t) in truth_set for t in hot_tids)
+
+    print(f"\nFigure 4 (right): zoomed {len(zoomed)} tuples, "
+          f"{int(hot.sum())} above 100F, from sensors {hot_sensors}")

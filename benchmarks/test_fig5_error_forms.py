@@ -1,0 +1,43 @@
+"""F5: Figure 5 — the dynamically generated error-metric forms.
+
+Asserts that every aggregate of the paper's list gets a sensible form
+set, that defaults derive from the unselected (normal-looking) results,
+and measures form generation latency (it sits on the interactive path:
+the form regenerates on every new highlight).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TooHigh, TooLow, NotEqual
+from repro.frontend import forms_for
+
+PAPER_AGGREGATES = ("avg", "sum", "count", "min", "max", "stddev")
+
+
+@pytest.mark.parametrize("agg", PAPER_AGGREGATES)
+def test_fig5_forms_offered_per_aggregate(benchmark, agg):
+    selected = np.array([120.0, 130.0])
+    unselected = np.array([20.0, 21.0, 22.0])
+
+    options = benchmark(forms_for, agg, selected, unselected)
+
+    ids = [option.form_id for option in options]
+    assert "too_high" in ids
+    assert "too_low" in ids
+    assert "not_equal" in ids
+
+    by_id = {option.form_id: option for option in options}
+    # Defaults come from the *unselected* values: what normal looks like.
+    assert by_id["too_high"].defaults["threshold"] == 22.0
+    assert by_id["too_low"].defaults["threshold"] == 20.0
+    assert by_id["not_equal"].defaults["expected"] == 21.0
+
+    built = [
+        by_id["too_high"].build(),
+        by_id["too_low"].build(),
+        by_id["not_equal"].build(),
+    ]
+    assert isinstance(built[0], TooHigh)
+    assert isinstance(built[1], TooLow)
+    assert isinstance(built[2], NotEqual)

@@ -1,0 +1,58 @@
+"""F6: Figure 6 — the ranked predicate list for the Intel sensor query.
+
+Regenerates the panel: given the Figure-4 selection (high-stddev windows
+S, >100°F tuples D', "too high" on stddev), the backend must return a
+ranked list whose top entries (a) fully repair ε and (b) implicate the
+physical failure signals (temperature / voltage / humidity / sensor id),
+matching the figure's content and the DESIGN.md shape commitments.
+"""
+
+import numpy as np
+
+from repro.core import RankedProvenance, TooHigh
+from repro.data import explanation_quality
+
+
+def test_fig6_ranked_predicate_panel(benchmark, intel_workload, intel_result,
+                                     intel_selection):
+    __, __, truth = intel_workload
+    S, F, dprime = intel_selection
+    metric = TooHigh(4.0)
+    pipeline = RankedProvenance()
+
+    report = benchmark(
+        pipeline.debug, intel_result, S, metric,
+        dprime_tids=dprime, agg_name="std_temp",
+    )
+
+    assert len(report) >= 3
+    best = report.best
+    assert best.relative_error_reduction > 0.95
+    quality = explanation_quality(best.predicate, F, truth)
+    assert quality.f1 > 0.9
+
+    physical = {"temp", "voltage", "humidity", "sensorid"}
+    mentioned = set()
+    for ranked in report.top(8):
+        mentioned |= ranked.predicate.columns()
+    assert mentioned <= physical | {"minute", "hour", "epoch", "light"}
+    assert mentioned & physical
+
+    print("\nFigure 6 panel — ranked predicates for the Intel query:")
+    print(report.to_text(max_rows=8))
+
+
+def test_fig6_no_dprime_degrades_gracefully(benchmark, intel_workload,
+                                            intel_result, intel_selection):
+    """Without user examples the influence fallback must still explain."""
+    __, __, truth = intel_workload
+    S, F, __ = intel_selection
+    pipeline = RankedProvenance()
+
+    report = benchmark(
+        pipeline.debug, intel_result, S, TooHigh(4.0), agg_name="std_temp"
+    )
+
+    assert len(report) > 0
+    quality = explanation_quality(report.best.predicate, F, truth)
+    assert quality.precision > 0.8

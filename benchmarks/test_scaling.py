@@ -1,0 +1,83 @@
+"""Q2: runtime scaling of the ranked-provenance pipeline.
+
+Sweeps the input size (rows of the base table / of F) and the selection
+size |S|, measuring end-to-end ``debug()`` latency and bare query
+execution. Expected shape: near-linear growth in |F| — the pipeline's
+stages are all linear passes over F (influence via removable aggregates,
+condition-mask precomputation, tree building with capped thresholds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RankedProvenance, TooHigh
+from repro.data import IntelConfig, generate_intel
+from repro.db import Database
+
+ROWS_SWEEP = [5400, 21600, 43200]  # readings: 54 sensors x {100,400,800} epochs
+
+
+def _build(rows: int):
+    epochs = rows // 54
+    duration = epochs * 2
+    table, truth = generate_intel(
+        IntelConfig(
+            n_sensors=54,
+            duration_minutes=duration,
+            interval_minutes=2.0,
+            failing_sensors=(15, 18),
+            failure_onset_frac=0.7,
+        )
+    )
+    db = Database()
+    db.register(table)
+    result = db.sql(
+        "SELECT minute / 30 AS w, avg(temp) AS a, stddev(temp) AS s "
+        "FROM readings GROUP BY minute / 30 ORDER BY w"
+    )
+    std = np.asarray(result.column("s"))
+    cutoff = 4 * float(np.median(std))
+    S = [i for i in range(result.num_rows) if std[i] > cutoff]
+    F = result.inputs_for(S)
+    dprime = np.asarray(F.tids)[np.asarray(F.column("temp")) > 100.0]
+    return db, result, S, dprime, len(F)
+
+
+@pytest.mark.parametrize("rows", ROWS_SWEEP)
+def test_q2_debug_latency_vs_rows(benchmark, rows):
+    db, result, S, dprime, f_size = _build(rows)
+    pipeline = RankedProvenance()
+
+    report = benchmark(
+        pipeline.debug, result, S, TooHigh(4.0), dprime_tids=dprime,
+        agg_name="s",
+    )
+    assert len(report) > 0
+    print(f"\nQ2: rows={rows}, |F|={f_size}, |S|={len(S)}, "
+          f"stage timings (ms): "
+          + ", ".join(f"{k}={1000 * v:.0f}" for k, v in report.timings.items()))
+
+
+@pytest.mark.parametrize("rows", ROWS_SWEEP)
+def test_q2_query_execution_vs_rows(benchmark, rows):
+    db, __, __, __, __ = _build(rows)
+
+    result = benchmark(
+        db.sql,
+        "SELECT minute / 30 AS w, avg(temp) AS a, stddev(temp) AS s "
+        "FROM readings GROUP BY minute / 30 ORDER BY w",
+    )
+    assert result.num_rows > 0
+
+
+@pytest.mark.parametrize("n_selected", [1, 4, 8])
+def test_q2_debug_latency_vs_selection_size(benchmark, n_selected):
+    db, result, S, dprime, __ = _build(21600)
+    S = S[:n_selected] if len(S) >= n_selected else S
+    pipeline = RankedProvenance()
+
+    report = benchmark(
+        pipeline.debug, result, S, TooHigh(4.0), dprime_tids=dprime,
+        agg_name="s",
+    )
+    assert report.epsilon >= 0

@@ -1,0 +1,66 @@
+"""Multi-attribute group-bys: pick-two-axes and PCA projection.
+
+Paper §2.2.1 (2): with a multi-attribute GROUP BY the user picks two
+group-by attributes to plot against each other; the authors were also
+"investigating additional methods ... such as plotting the two largest
+principal components against each other". Both are implemented here.
+
+Run:  python examples/multiattr_groupby_pca.py
+"""
+
+import numpy as np
+
+from repro import Database, DBWipesSession
+from repro.data import IntelConfig, generate_intel
+from repro.frontend import Brush, ascii_scatter, from_result, pca_projection
+
+
+def main() -> None:
+    table, truth = generate_intel(
+        IntelConfig(n_sensors=24, duration_minutes=480, interval_minutes=4.0,
+                    failing_sensors=(7,), failure_onset_frac=0.5)
+    )
+    db = Database()
+    db.register(table)
+    session = DBWipesSession(db)
+
+    # A two-attribute group-by: per (sensor, hour) average temperature.
+    session.execute(
+        "SELECT sensorid, hour, avg(temp) AS m, avg(voltage) AS v "
+        "FROM readings GROUP BY sensorid, hour ORDER BY sensorid, hour"
+    )
+    result = session.result
+    print(f"{result.num_rows} (sensor, hour) groups\n")
+
+    # Option 1: pick two group-by attributes to plot against each other.
+    scatter = from_result(result, x="sensorid", y="hour")
+    print(ascii_scatter(scatter, height=10,
+                        title="Group keys: sensorid vs hour"))
+    print()
+
+    # Option 2: plot a key against the aggregate and brush anomalies.
+    hot = session.select_results(Brush.above(90.0), x="sensorid", y="m")
+    sensors = sorted({result.row(r)[0] for r in hot})
+    print(f"Groups averaging above 90 degrees all come from sensors: "
+          f"{sensors}")
+    assert sensors == [7], "expected exactly the failing sensor"
+    print()
+
+    # Option 3 (the paper's 'investigating' idea): PCA projection of the
+    # multi-attribute group keys + aggregates.
+    projected = pca_projection(result, ["sensorid", "hour", "m", "v"])
+    failing_groups = np.asarray(
+        [i for i in range(result.num_rows) if result.row(i)[0] == 7
+         and result.row(i)[2] > 90],
+        dtype=np.int64,
+    )
+    print(ascii_scatter(projected, height=12, highlight_keys=failing_groups,
+                        title="PCA projection (failing sensor's groups "
+                              "highlighted)"))
+    print()
+    print("The failing sensor's post-onset groups separate cleanly in "
+          "PC space — exactly why the authors wanted this projection.")
+
+
+if __name__ == "__main__":
+    main()

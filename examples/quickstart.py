@@ -1,0 +1,77 @@
+"""Quickstart: the full DBWipes loop in ~40 lines.
+
+A tiny sensor table contains one obviously broken reading. We run an
+aggregate query, notice the bad window, ask DBWipes *why*, and clean it
+— all programmatically.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Database, DBWipesSession
+from repro.frontend import Brush
+
+
+def main() -> None:
+    # 1. Build a database. Sensor 2 emits two wildly wrong readings
+    #    (tids 3 and 8) inside the second half-hour window.
+    db = Database()
+    db.create_table(
+        "sensors",
+        {
+            "sensorid": [1, 1, 2, 2, 2, 3, 3, 1, 2, 3],
+            "time": [0, 35, 2, 31, 62, 5, 40, 65, 33, 68],
+            "temp": [20.0, 21.0, 22.0, 120.0, 23.0, 19.5, 20.5, 22.5, 118.0, 20.0],
+        },
+        types={"sensorid": "int", "time": "int", "temp": "float"},
+    )
+
+    session = DBWipesSession(db)
+
+    # 2. Execute an aggregate query: average temperature per 30-min window.
+    result = session.execute(
+        "SELECT time / 30 AS window, avg(temp) AS avg_temp "
+        "FROM sensors GROUP BY time / 30 ORDER BY window"
+    )
+    print("Query results:")
+    print(result.to_text())
+    print()
+    print(session.render(height=10))
+    print()
+
+    # 3. Brush the suspicious result (the window averaging 54 degrees).
+    selected = session.select_results(Brush.above(40.0))
+    print(f"Selected suspicious windows S = {list(selected)}")
+
+    # 4. Zoom in to the raw tuples and brush the outlier readings (D').
+    zoomed = session.zoom()
+    print(f"Zoomed into {len(zoomed)} input tuples")
+    dprime = session.select_inputs(Brush.above(100.0))
+    print(f"Selected suspicious inputs D' = {list(dprime)}")
+
+    # 5. Pick an error metric from the generated form and debug.
+    for option in session.error_form():
+        print(f"  error form option: {option.form_id:10s} {option.label}")
+    session.set_metric("too_high", threshold=25.0)
+    report = session.debug()
+    print()
+    print(report.to_text())
+    print()
+
+    # 6. Click the top predicate: the query is rewritten and re-executed.
+    cleaned = session.apply_predicate(0)
+    print("After cleaning:")
+    print(cleaned.to_text())
+    print()
+    print("The query form now shows:")
+    print(" ", session.current_sql())
+
+    new_max = float(np.asarray(cleaned.column("avg_temp")).max())
+    assert new_max < 30.0, "cleaning failed to remove the anomaly"
+    print(f"\nMax window average dropped to {new_max:.1f} — anomaly explained "
+          "and removed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""DBWipes reproduction: ranked provenance for interactive data cleaning.
+
+This package reproduces *"A Demonstration of DBWipes: Clean as You
+Query"* (Wu, Madden, Stonebraker — VLDB 2012): an end-to-end system where
+a user runs an aggregate query, brushes suspicious results, and receives
+a ranked list of human-readable predicates explaining the anomaly, which
+can be clicked to clean the query on the fly.
+
+Quickstart
+----------
+
+>>> from repro import Database, DBWipesSession
+>>> from repro.data import generate_fec, walkthrough_query
+>>> from repro.frontend import Brush
+>>> table, truth = generate_fec()
+>>> db = Database(); _ = db.register(table)
+>>> s = DBWipesSession(db)
+>>> _ = s.execute(walkthrough_query("MCCAIN"))
+>>> _ = s.select_results(Brush.below(0.0))   # brush the negative spike
+>>> _ = s.zoom()
+>>> _ = s.select_inputs(Brush.below(-1.0))   # brush the negative donations
+>>> _ = s.set_metric("too_low", threshold=0.0)
+>>> report = s.debug()
+>>> report.best.predicate.describe()
+"memo = 'REATTRIBUTION TO SPOUSE'"
+
+Subpackages
+-----------
+
+* :mod:`repro.db` — in-memory SQL engine with provenance capture.
+* :mod:`repro.core` — the Ranked Provenance System pipeline.
+* :mod:`repro.learn` — from-scratch trees / CN2-SD / k-means / NB.
+* :mod:`repro.frontend` — session, brushes, forms, ASCII dashboard.
+* :mod:`repro.data` — synthetic FEC / Intel Lab / clustered-anomaly data.
+* :mod:`repro.baselines` — classic provenance and fixed-criteria rivals.
+"""
+
+from . import errors
+from .core import (
+    DebugReport,
+    NotEqual,
+    PipelineConfig,
+    RankedProvenance,
+    TooHigh,
+    TooLow,
+    metric_from_form,
+)
+from .db import Database, Predicate, Table
+from .frontend import Brush, DBWipesSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Brush",
+    "DBWipesSession",
+    "Database",
+    "DebugReport",
+    "NotEqual",
+    "PipelineConfig",
+    "Predicate",
+    "RankedProvenance",
+    "Table",
+    "TooHigh",
+    "TooLow",
+    "errors",
+    "metric_from_form",
+    "__version__",
+]

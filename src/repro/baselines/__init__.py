@@ -1,0 +1,23 @@
+"""``repro.baselines`` — the comparators DBWipes is evaluated against.
+
+Fine/coarse-grained classic provenance, pre-defined ranking criteria,
+and responsibility-style causal ranking. All return tuple-level
+explanations (:class:`TupleExplanation`); the Q1 benchmark compares
+their precision/recall against DBWipes' predicate explanations.
+"""
+
+from .causality import responsibility_explanation
+from .fine_grained import (
+    TupleExplanation,
+    coarse_grained_explanation,
+    fine_grained_explanation,
+)
+from .rules_baseline import predefined_criteria_explanation
+
+__all__ = [
+    "TupleExplanation",
+    "coarse_grained_explanation",
+    "fine_grained_explanation",
+    "predefined_criteria_explanation",
+    "responsibility_explanation",
+]

@@ -1,0 +1,62 @@
+"""Classic provenance baselines: what DBWipes improves upon.
+
+The paper's introduction contrasts ranked provenance with the two
+existing provenance classes:
+
+* **fine-grained** provenance answers "which inputs produced these
+  outputs" by returning *all* of them — for an aggregate over thousands
+  of tuples that is thousands of tuples, "which has very low precision";
+* **coarse-grained** provenance returns the operator graph, which is
+  "uninformative because every input went through the same sequence of
+  operators".
+
+These baselines exist so the Q1 benchmark can measure exactly that
+precision gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.result import ResultSet
+
+
+@dataclass(frozen=True)
+class TupleExplanation:
+    """A tuple-level explanation: a set of tids with an optional ranking."""
+
+    tids: np.ndarray
+    label: str
+    #: Parallel ranking scores (higher = more suspicious); None = unranked.
+    scores: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of tuples in the explanation."""
+        return len(self.tids)
+
+    def top(self, k: int) -> np.ndarray:
+        """The k most suspicious tids (arbitrary prefix when unranked)."""
+        if self.scores is None:
+            return self.tids[:k]
+        order = np.argsort(-self.scores, kind="stable")
+        return self.tids[order][:k]
+
+
+def fine_grained_explanation(
+    result: ResultSet, selected_rows: list[int]
+) -> TupleExplanation:
+    """The classic fine-grained answer: every input tuple of S, unranked."""
+    tids = result.fine.lineage_many(selected_rows)
+    return TupleExplanation(tids=tids, label="fine-grained provenance")
+
+
+def coarse_grained_explanation(result: ResultSet) -> str:
+    """The classic coarse-grained answer: the operator pipeline.
+
+    Returned as text because that is all it is — identical for every
+    output row, with no pointer to any specific input.
+    """
+    return result.coarse.describe()

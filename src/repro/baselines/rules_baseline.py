@@ -1,0 +1,60 @@
+"""Pre-defined ranking criteria baseline (the paper's limitation 1).
+
+Paper §1: *"it is possible to construct pre-defined ranking criteria for
+certain aggregate operators (e.g., for an average that is higher than
+expected, the inputs that bring the average down the most are the
+largest inputs), [but] the user's notion of error is often different
+than the pre-defined criteria."*
+
+This baseline implements those fixed criteria. It ranks the inputs of
+each selected group by a rule keyed only on the aggregate function and
+the metric direction — no user examples, no learned predicates:
+
+* ``avg`` / ``sum`` — largest values first when the result is too high,
+  smallest first when too low;
+* ``stddev`` / ``var`` — largest |value − group mean| first;
+* ``max`` — largest first; ``min`` — smallest first;
+* ``count`` — all inputs tied (removal of any one is equivalent).
+
+Its top-k cut is the tuple-level explanation DBWipes is compared with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.preprocessor import PreprocessResult
+from ..errors import PipelineError
+from .fine_grained import TupleExplanation
+
+
+def predefined_criteria_explanation(pre: PreprocessResult) -> TupleExplanation:
+    """Rank F's tuples by the fixed criterion for this aggregate."""
+    agg = pre.aggregate.name
+    direction = getattr(pre.metric, "direction", +1) or +1
+    all_tids: list[np.ndarray] = []
+    all_scores: list[np.ndarray] = []
+    for values, tids in zip(pre.group_values, pre.group_tids):
+        values = np.asarray(values, dtype=np.float64)
+        scores = _criterion_scores(agg, values, direction)
+        all_tids.append(np.asarray(tids, dtype=np.int64))
+        all_scores.append(scores)
+    tids = np.concatenate(all_tids) if all_tids else np.empty(0, dtype=np.int64)
+    scores = np.concatenate(all_scores) if all_scores else np.empty(0)
+    return TupleExplanation(
+        tids=tids, label=f"predefined criteria ({agg})", scores=scores
+    )
+
+
+def _criterion_scores(agg: str, values: np.ndarray, direction: int) -> np.ndarray:
+    clean = np.nan_to_num(values, nan=0.0)
+    if agg in ("avg", "sum", "max"):
+        return direction * clean
+    if agg == "min":
+        return -direction * clean
+    if agg in ("stddev", "var"):
+        center = np.nanmean(values) if len(values) else 0.0
+        return np.abs(clean - center)
+    if agg == "count":
+        return np.zeros(len(values))
+    raise PipelineError(f"no predefined criterion for aggregate {agg!r}")

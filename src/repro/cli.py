@@ -1,0 +1,286 @@
+"""The conference-demo driver: ``python -m repro``.
+
+The paper's §3 invites attendees to "explore anomalies in campaign
+donations ... and in readings from a 54-node sensor deployment", with
+provided bootstrap queries. This CLI is that experience in a terminal:
+
+* ``python -m repro fec`` / ``python -m repro intel`` — load a dataset
+  with its bootstrap query and start the interactive loop;
+* ``python -m repro fec --script`` — run the full §3.2 walkthrough
+  non-interactively (useful for demos, docs, and tests).
+
+Interactive commands mirror the dashboard's controls::
+
+    sql <query>         run a new aggregate query
+    show                render the current scatterplot
+    select y> <v>       brush results with y above v   (also: y<, x=, row <i>)
+    zoom                zoom into the selected results' input tuples
+    inputs y> <v>       brush zoomed tuples as D' (also: y<)
+    forms               list error-metric options for the debugged aggregate
+    metric <id> [v]     pick the error metric (threshold/expected = v)
+    debug               compute ranked predicates
+    apply <rank>        click a predicate: rewrite the query and re-execute
+    undo / redo         undo / redo the last cleaning
+    query               print the current SQL
+    help                this text
+    quit                leave
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Iterable, TextIO
+
+from .data import (
+    FECConfig,
+    IntelConfig,
+    generate_fec,
+    generate_intel,
+    walkthrough_query,
+)
+from .db import Database
+from .errors import ReproError
+from .frontend import Brush, DBWipesSession
+
+#: Bootstrap queries, as the demo "will provide several queries ... to
+#: bootstrap their investigations".
+BOOTSTRAP_QUERIES = {
+    "fec": walkthrough_query("MCCAIN"),
+    "intel": (
+        "SELECT minute / 30 AS window, avg(temp) AS avg_temp, "
+        "stddev(temp) AS std_temp FROM readings "
+        "GROUP BY minute / 30 ORDER BY window"
+    ),
+}
+
+#: Scripted walkthroughs replaying §3.2 (fec) and Figures 4-6 (intel).
+SCRIPTS = {
+    "fec": [
+        "show",
+        "select y< 0",
+        "zoom",
+        "inputs y< 0",
+        "forms",
+        "metric too_low 0",
+        "debug",
+        "apply 1",
+        "show",
+        "query",
+    ],
+    "intel": [
+        "show",
+        "select y> 7 std_temp",
+        "zoom",
+        "inputs y> 100",
+        "forms",
+        "metric too_high",
+        "debug",
+        "apply 1",
+        "query",
+    ],
+}
+
+
+def load_dataset(name: str) -> Database:
+    """Build the named demo database (``fec`` or ``intel``)."""
+    db = Database()
+    if name == "fec":
+        table, __ = generate_fec(FECConfig())
+    elif name == "intel":
+        table, __ = generate_intel(
+            IntelConfig(failure_onset_frac=0.7)
+        )
+    else:
+        raise ReproError(f"unknown dataset {name!r}; choose 'fec' or 'intel'")
+    db.register(table)
+    return db
+
+
+class DemoShell:
+    """A line-command shell over a :class:`DBWipesSession`."""
+
+    def __init__(self, db: Database, out: TextIO | None = None):
+        self.session = DBWipesSession(db)
+        self.out = out or sys.stdout
+        self._debug_agg: str | None = None
+        self._commands: dict[str, Callable[[list[str]], None]] = {
+            "sql": self._cmd_sql,
+            "show": self._cmd_show,
+            "select": self._cmd_select,
+            "zoom": self._cmd_zoom,
+            "inputs": self._cmd_inputs,
+            "forms": self._cmd_forms,
+            "metric": self._cmd_metric,
+            "debug": self._cmd_debug,
+            "apply": self._cmd_apply,
+            "undo": self._cmd_undo,
+            "redo": self._cmd_redo,
+            "query": self._cmd_query,
+            "help": self._cmd_help,
+        }
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- command dispatch ------------------------------------------------
+
+    def run_line(self, line: str) -> bool:
+        """Execute one command line; returns False when asked to quit."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return True
+        parts = line.split()
+        name, args = parts[0].lower(), parts[1:]
+        if name in ("quit", "exit"):
+            return False
+        handler = self._commands.get(name)
+        if handler is None:
+            self._print(f"unknown command {name!r}; try 'help'")
+            return True
+        try:
+            handler(args)
+        except ReproError as error:
+            self._print(f"error: {error}")
+        return True
+
+    def run(self, lines: Iterable[str], echo: bool = True) -> None:
+        """Run a sequence of command lines (the --script mode)."""
+        for line in lines:
+            if echo:
+                self._print(f"dbwipes> {line}")
+            if not self.run_line(line):
+                break
+
+    def repl(self, stdin: TextIO | None = None) -> None:
+        """Read commands until EOF or ``quit``."""
+        stdin = stdin or sys.stdin
+        while True:
+            self.out.write("dbwipes> ")
+            self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            if not self.run_line(line):
+                break
+
+    # -- commands ----------------------------------------------------------
+
+    def _cmd_sql(self, args: list[str]) -> None:
+        query = " ".join(args)
+        result = self.session.execute(query)
+        self._debug_agg = None
+        self._print(f"{result.num_rows} rows")
+        self._print(result.to_text(max_rows=8))
+
+    def _cmd_show(self, args: list[str]) -> None:
+        y = args[0] if args else None
+        self._print(self.session.render(y=y, height=14))
+
+    def _cmd_select(self, args: list[str]) -> None:
+        brush, rest = self._parse_brush(args)
+        y_axis = rest[0] if rest else None
+        if y_axis:
+            rows = self.session.select_results(brush, y=y_axis)
+            self._debug_agg = y_axis
+        else:
+            rows = self.session.select_results(brush)
+        self._print(f"selected {len(rows)} suspicious results: {list(rows)[:12]}")
+
+    def _cmd_zoom(self, args: list[str]) -> None:
+        scatter = self.session.zoom()
+        self._print(
+            f"zoomed into {len(scatter)} input tuples "
+            f"(x: {scatter.x_label}, y: {scatter.y_label})"
+        )
+
+    def _cmd_inputs(self, args: list[str]) -> None:
+        brush, __ = self._parse_brush(args)
+        tids = self.session.select_inputs(brush)
+        self._print(f"selected {len(tids)} suspicious inputs as D'")
+
+    def _cmd_forms(self, args: list[str]) -> None:
+        for option in self.session.error_form(self._debug_agg):
+            defaults = f"  (default {option.defaults})" if option.defaults else ""
+            self._print(f"  {option.form_id:10s} {option.label}{defaults}")
+
+    def _cmd_metric(self, args: list[str]) -> None:
+        if not args:
+            self._print("usage: metric <form_id> [value]")
+            return
+        form_id = args[0]
+        params = {}
+        if len(args) > 1:
+            key = "expected" if form_id == "not_equal" else "threshold"
+            params[key] = float(args[1])
+        metric = self.session.set_metric(form_id, agg_name=self._debug_agg,
+                                         **params)
+        self._print(f"metric: {metric.describe()}")
+
+    def _cmd_debug(self, args: list[str]) -> None:
+        report = self.session.debug(self._debug_agg)
+        self._print(report.to_text(max_rows=8))
+
+    def _cmd_apply(self, args: list[str]) -> None:
+        rank = int(args[0]) if args else 1
+        result = self.session.apply_predicate(rank - 1)
+        predicate = self.session.applied_predicates[-1]
+        self._print(f"applied: NOT ({predicate.describe()})")
+        self._print(f"{result.num_rows} rows after cleaning")
+
+    def _cmd_undo(self, args: list[str]) -> None:
+        self.session.undo_cleaning()
+        self._print("undone")
+
+    def _cmd_redo(self, args: list[str]) -> None:
+        self.session.redo_cleaning()
+        self._print("redone")
+
+    def _cmd_query(self, args: list[str]) -> None:
+        self._print(self.session.current_sql())
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self._print(__doc__ or "")
+
+    @staticmethod
+    def _parse_brush(args: list[str]) -> tuple[Brush | list[int], list[str]]:
+        """Parse ``y> 5`` / ``y< 0`` / ``x= 3`` / ``row 1 2 3`` selections."""
+        if not args:
+            raise ReproError("selection needs an argument; e.g. 'select y> 10'")
+        head = args[0]
+        if head == "row":
+            return [int(a) for a in args[1:]], []
+        if head in ("y>", "y<", "x=") and len(args) >= 2:
+            value = float(args[1])
+            rest = args[2:]
+            if head == "y>":
+                return Brush.above(value), rest
+            if head == "y<":
+                return Brush.below(value), rest
+            return Brush.over_x(value, value), rest
+        raise ReproError(f"cannot parse selection {' '.join(args)!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    dataset = argv[0]
+    scripted = "--script" in argv[1:]
+    try:
+        db = load_dataset(dataset)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    shell = DemoShell(db)
+    bootstrap = BOOTSTRAP_QUERIES[dataset]
+    print(f"Loaded demo dataset {dataset!r}. Bootstrap query:")
+    print(f"  {bootstrap}")
+    shell.run_line(f"sql {bootstrap}")
+    if scripted:
+        shell.run(SCRIPTS[dataset])
+        return 0
+    print("Type 'help' for commands.")
+    shell.repl()
+    return 0

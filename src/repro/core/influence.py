@@ -1,0 +1,176 @@
+"""Leave-one-out influence of input tuples on the error metric.
+
+For each tuple t feeding a selected group g, the influence is the
+reduction in that group's error contribution when t is removed::
+
+    inf(t) = φ(O(D_g)) − φ(O(D_g − {t}))
+
+where φ is the metric's per-value error. A positive influence means
+removing the tuple *reduces* the error — the tuple is part of the
+problem. The Preprocessor ranks all of F by this score (paper §2.2.2:
+"uses leave-one-out analysis to rank each tuple in F by how much it
+influences ε").
+
+Influence is deliberately *local to the group*: under a max-combined
+metric, the global ε only moves when the worst group improves, which
+would zero out the ranking for every other selected group — useless for
+finding suspicious tuples across all of S. For sum-combined metrics the
+local and global deltas coincide. The *global* ε and the ranker's Δε do
+use the metric's combine (see :func:`subset_epsilon`).
+
+Two implementations are provided:
+
+* **fast** — uses the removable-aggregate closed forms
+  (:meth:`~repro.db.aggregates.Aggregate.leave_one_out`) plus the
+  max/sum decomposition of the metric: O(|F|) total.
+* **naive** — recomputes the aggregate from scratch per removal:
+  O(|F|²) within each group. Exists for correctness testing and the A1
+  ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.aggregates import Aggregate
+from ..errors import PipelineError
+
+
+@dataclass(frozen=True)
+class GroupInfluence:
+    """Influence details for one selected result row (group)."""
+
+    row: int
+    tids: np.ndarray
+    values: np.ndarray
+    loo_values: np.ndarray
+    influence: np.ndarray
+    group_value: float
+
+
+@dataclass(frozen=True)
+class InfluenceResult:
+    """Ranked leave-one-out influence over all tuples of F."""
+
+    tids: np.ndarray
+    scores: np.ndarray
+    epsilon: float
+    groups: tuple[GroupInfluence, ...] = field(default_factory=tuple)
+
+    def ranked_tids(self) -> np.ndarray:
+        """Tids sorted by descending influence."""
+        order = np.argsort(-self.scores, kind="stable")
+        return self.tids[order]
+
+    def top_tids(self, quantile: float) -> np.ndarray:
+        """Tids whose influence is at or above the given score quantile.
+
+        Only tuples with strictly positive influence are eligible: a tuple
+        whose removal does not reduce ε is never "suspicious".
+        """
+        if len(self.scores) == 0:
+            return self.tids
+        positive = self.scores > 0
+        if not positive.any():
+            return np.empty(0, dtype=np.int64)
+        cutoff = float(np.quantile(self.scores[positive], quantile))
+        return self.tids[positive & (self.scores >= cutoff)]
+
+    def score_of(self, tids: np.ndarray) -> np.ndarray:
+        """Influence scores for specific tids (0 for unknown tids)."""
+        lookup = {int(t): float(s) for t, s in zip(self.tids, self.scores)}
+        return np.array([lookup.get(int(t), 0.0) for t in tids], dtype=np.float64)
+
+
+def leave_one_out_influence(
+    group_values: list[np.ndarray],
+    group_tids: list[np.ndarray],
+    rows: list[int],
+    aggregate: Aggregate,
+    metric,
+    fast: bool = True,
+) -> InfluenceResult:
+    """Compute influence for every tuple of the selected groups.
+
+    Parameters
+    ----------
+    group_values:
+        Per selected group, the aggregate's input values for its tuples.
+    group_tids:
+        Per selected group, the tids matching ``group_values``.
+    rows:
+        The selected result-row index for each group (for reporting).
+    aggregate:
+        The aggregate implementation of the debugged output column.
+    metric:
+        The user's :class:`~repro.core.error_metrics.ErrorMetric`.
+    fast:
+        Use closed-form leave-one-out (True) or naive recomputation.
+    """
+    if len(group_values) != len(group_tids) or len(group_values) != len(rows):
+        raise PipelineError("group_values, group_tids, and rows must align")
+    current = np.array(
+        [aggregate.compute(values) for values in group_values], dtype=np.float64
+    )
+    epsilon = metric(current)
+    phi = metric.per_value_error(current)
+
+    all_tids: list[np.ndarray] = []
+    all_scores: list[np.ndarray] = []
+    groups: list[GroupInfluence] = []
+    for g, (values, tids) in enumerate(zip(group_values, group_tids)):
+        if fast:
+            loo = aggregate.leave_one_out(values)
+        else:
+            loo = aggregate.leave_one_out_naive(values)
+        phi_new = metric.per_value_error(loo)
+        influence = phi[g] - phi_new
+        all_tids.append(np.asarray(tids, dtype=np.int64))
+        all_scores.append(influence)
+        groups.append(
+            GroupInfluence(
+                row=rows[g],
+                tids=np.asarray(tids, dtype=np.int64),
+                values=np.asarray(values, dtype=np.float64),
+                loo_values=loo,
+                influence=influence,
+                group_value=float(current[g]),
+            )
+        )
+    if all_tids:
+        tids = np.concatenate(all_tids)
+        scores = np.concatenate(all_scores)
+    else:
+        tids = np.empty(0, dtype=np.int64)
+        scores = np.empty(0, dtype=np.float64)
+    return InfluenceResult(
+        tids=tids, scores=scores, epsilon=epsilon, groups=tuple(groups)
+    )
+
+
+def subset_epsilon(
+    group_values: list[np.ndarray],
+    group_remove_masks: list[np.ndarray],
+    aggregate: Aggregate,
+    metric,
+) -> float:
+    """ε(S) after removing a per-group masked subset of input tuples.
+
+    This is the ranker's Δε evaluator: it answers "what would the error be
+    if this predicate's tuples were deleted" using the removable-aggregate
+    sufficient statistics rather than re-running the query.
+    """
+    if len(group_values) != len(group_remove_masks):
+        raise PipelineError("group_values and masks must align")
+    new_values = np.array(
+        [
+            aggregate.compute_without(values, mask)
+            for values, mask in zip(group_values, group_remove_masks)
+        ],
+        dtype=np.float64,
+    )
+    return metric(new_values)
+
+

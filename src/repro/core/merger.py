@@ -1,0 +1,199 @@
+"""Predicate merging: combine fragmented descriptions of one anomaly.
+
+Decision trees partition greedily, so a single anomalous region often
+comes back as several adjacent rules (``10 < x <= 20 and a = 'v'`` plus
+``20 < x <= 31 and a = 'v'``). The follow-up system to DBWipes (Scorpion)
+merges such neighbors; this module implements the same idea as a ranker
+post-pass:
+
+* two predicates over the *same column set* are merged into their
+  **hull**: per-column interval spans are unioned ([min lo, max hi]) and
+  categorical value sets are unioned;
+* the hull over-approximates the logical OR, so it is re-scored from
+  scratch (Δε, accuracy, complexity, parsimony) and kept **only when it
+  outscores both parents** — a bad merge never survives.
+
+The pass runs greedily over the top of the ranked list until no merge
+improves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..db.predicate import CategoricalClause, NumericClause, Predicate
+from ..errors import PipelineError
+from ..learn.metrics import confusion
+from .enumerator import CandidateSet
+from .influence import subset_epsilon
+from .preprocessor import PreprocessResult
+from .report import RankedPredicate
+
+
+def hull(first: Predicate, second: Predicate) -> Predicate | None:
+    """The per-column hull of two conjunctions, or ``None`` if their
+    column sets differ or any column pair is incompatible."""
+    if first.columns() != second.columns():
+        return None
+    by_column_first = {clause.column: clause for clause in first.clauses}
+    by_column_second = {clause.column: clause for clause in second.clauses}
+    if len(by_column_first) != len(first.clauses):
+        # Same column twice (shouldn't happen after simplify); bail out.
+        return None
+    merged = []
+    for column, clause_a in by_column_first.items():
+        clause_b = by_column_second[column]
+        if isinstance(clause_a, NumericClause) and isinstance(
+            clause_b, NumericClause
+        ):
+            lo_pair = _lower_hull(clause_a, clause_b)
+            hi_pair = _upper_hull(clause_a, clause_b)
+            if lo_pair[0] is None and hi_pair[0] is None:
+                # Opposite unbounded sides: the hull is the whole domain,
+                # i.e. no constraint at all — not a useful merge.
+                return None
+            merged.append(
+                NumericClause(
+                    column,
+                    lo_pair[0],
+                    hi_pair[0],
+                    lo_inclusive=lo_pair[1],
+                    hi_inclusive=hi_pair[1],
+                )
+            )
+        elif isinstance(clause_a, CategoricalClause) and isinstance(
+            clause_b, CategoricalClause
+        ):
+            if clause_a.negated or clause_b.negated:
+                return None
+            merged.append(
+                CategoricalClause(column, clause_a.values | clause_b.values)
+            )
+        else:
+            return None
+    return Predicate(merged)
+
+
+def _lower_hull(a: NumericClause, b: NumericClause) -> tuple[float | None, bool]:
+    if a.lo is None or b.lo is None:
+        return None, True
+    if a.lo < b.lo:
+        return a.lo, a.lo_inclusive
+    if b.lo < a.lo:
+        return b.lo, b.lo_inclusive
+    return a.lo, a.lo_inclusive or b.lo_inclusive
+
+
+def _upper_hull(a: NumericClause, b: NumericClause) -> tuple[float | None, bool]:
+    if a.hi is None or b.hi is None:
+        return None, True
+    if a.hi > b.hi:
+        return a.hi, a.hi_inclusive
+    if b.hi > a.hi:
+        return b.hi, b.hi_inclusive
+    return a.hi, a.hi_inclusive or b.hi_inclusive
+
+
+class PredicateMerger:
+    """Greedy hull-merging over the top of a ranked predicate list."""
+
+    def __init__(self, weights, max_terms: int = 8, top_n: int = 12,
+                 max_rounds: int = 4):
+        if top_n < 2:
+            raise PipelineError("top_n must be >= 2")
+        self.weights = weights
+        self.max_terms = max_terms
+        self.top_n = top_n
+        self.max_rounds = max_rounds
+
+    def run(
+        self,
+        pre: PreprocessResult,
+        candidates: Sequence[CandidateSet],
+        ranked: list[RankedPredicate],
+    ) -> list[RankedPredicate]:
+        """Insert winning merges into ``ranked`` (returned re-sorted)."""
+        ranked = list(ranked)
+        candidate_by_origin = {c.origin: c for c in candidates}
+        group_tables = [pre.F.take_tids(tids) for tids in pre.group_tids]
+        for _ in range(self.max_rounds):
+            best_merge: RankedPredicate | None = None
+            merged_from: tuple[int, int] | None = None
+            head = sorted(ranked, key=lambda r: -r.score)[: self.top_n]
+            for i in range(len(head)):
+                for j in range(i + 1, len(head)):
+                    if head[i].predicate == head[j].predicate:
+                        continue
+                    merged = hull(head[i].predicate, head[j].predicate)
+                    if merged is None:
+                        continue
+                    entry = self._score(
+                        pre, candidate_by_origin.get(head[i].candidate_origin),
+                        group_tables, merged, head[i], head[j],
+                    )
+                    if entry is None:
+                        continue
+                    if entry.score <= max(head[i].score, head[j].score):
+                        continue
+                    if best_merge is None or entry.score > best_merge.score:
+                        best_merge = entry
+                        merged_from = (i, j)
+            if best_merge is None or merged_from is None:
+                break
+            drop = {head[merged_from[0]].predicate, head[merged_from[1]].predicate}
+            ranked = [r for r in ranked if r.predicate not in drop]
+            ranked.append(best_merge)
+        ranked.sort(key=lambda r: (-r.score, r.complexity, r.predicate.describe()))
+        return ranked
+
+    def _score(
+        self,
+        pre: PreprocessResult,
+        candidate: CandidateSet | None,
+        group_tables,
+        predicate: Predicate,
+        parent_a: RankedPredicate,
+        parent_b: RankedPredicate,
+    ) -> RankedPredicate | None:
+        mask_f = predicate.mask(pre.F)
+        n_matched = int(mask_f.sum())
+        if n_matched == 0:
+            return None
+        remove_masks = [predicate.mask(table) for table in group_tables]
+        epsilon = pre.epsilon
+        epsilon_after = subset_epsilon(
+            list(pre.group_values), remove_masks, pre.aggregate, pre.metric
+        )
+        relative = (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0
+        if relative <= 0:
+            return None
+        if candidate is not None:
+            stats = confusion(candidate.label_mask(pre.F), mask_f)
+            f1 = stats.f1
+            precision = stats.precision
+            recall = stats.recall
+        else:
+            f1 = max(parent_a.accuracy, parent_b.accuracy)
+            precision = max(parent_a.precision, parent_b.precision)
+            recall = max(parent_a.recall, parent_b.recall)
+        penalty = min(predicate.complexity / self.max_terms, 1.0)
+        matched_fraction = n_matched / max(len(pre.F), 1)
+        score = (
+            self.weights.error * relative
+            + self.weights.accuracy * f1
+            - self.weights.complexity * penalty
+            - self.weights.parsimony * matched_fraction
+        )
+        return RankedPredicate(
+            predicate=predicate,
+            score=score,
+            epsilon_before=epsilon,
+            epsilon_after=epsilon_after,
+            accuracy=f1,
+            precision=precision,
+            recall=recall,
+            complexity=predicate.complexity,
+            n_matched=n_matched,
+            candidate_origin=parent_a.candidate_origin,
+            source=f"merge({parent_a.source}+{parent_b.source})",
+        )

@@ -1,0 +1,141 @@
+"""The ranked provenance pipeline (the bottom half of Figure 1).
+
+``RankedProvenance.debug`` wires the four backend components together::
+
+    Query, S, D', ε ──> Preprocessor ──> Dataset Enumerator
+                       ──> Predicate Enumerator ──> Predicate Ranker
+                       ──> ranked predicates
+
+Each stage's wall-clock time is recorded in the report for the scaling
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..db.result import ResultSet
+from ..learn.subgroup import SubgroupDiscovery
+from .enumerator import DatasetEnumerator
+from .error_metrics import ErrorMetric
+from .predicates import DEFAULT_STRATEGIES, PredicateEnumerator, TreeStrategy
+from .preprocessor import Preprocessor
+from .ranker import PredicateRanker, RankerWeights
+from .report import DebugReport
+
+
+@dataclass
+class PipelineConfig:
+    """All tunables of the ranked provenance pipeline in one place."""
+
+    #: Use closed-form leave-one-out influence (False = naive recompute).
+    fast_influence: bool = True
+    #: How to clean D': "kmeans", "nb", or "none".
+    clean_strategy: str = "kmeans"
+    #: Extend candidates with subgroup discovery.
+    extend_with_subgroups: bool = True
+    #: Influence quantile for the high-influence extension of D'.
+    influence_quantile: float = 0.75
+    #: Tree strategies for the predicate enumerator (the paper's m).
+    strategies: tuple[TreeStrategy, ...] = DEFAULT_STRATEGIES
+    #: Columns usable in predicates (None = every column of F).
+    feature_columns: tuple[str, ...] | None = None
+    #: Minimum positive-leaf precision for tree rules.
+    min_precision: float = 0.5
+    #: Bias tree sample weights by influence scores.
+    weight_by_influence: bool = False
+    #: Ranker weights and complexity cap.
+    ranker_weights: RankerWeights = field(default_factory=RankerWeights)
+    max_terms: int = 8
+    #: Post-rank hull merging of fragmented predicates (Scorpion-style).
+    merge_predicates: bool = False
+    #: Cap on candidate datasets.
+    max_candidates: int = 8
+    #: Subgroup discovery configuration.
+    subgroup: SubgroupDiscovery | None = None
+    #: Random seed shared by all stochastic stages.
+    seed: int = 0
+
+
+class RankedProvenance:
+    """The DBWipes backend: from a selection to ranked predicates."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        config_ = self.config
+        self._preprocessor = Preprocessor(fast_influence=config_.fast_influence)
+        self._enumerator = DatasetEnumerator(
+            clean_strategy=config_.clean_strategy,
+            extend=config_.extend_with_subgroups,
+            influence_quantile=config_.influence_quantile,
+            subgroup=config_.subgroup,
+            feature_columns=config_.feature_columns,
+            max_candidates=config_.max_candidates,
+            seed=config_.seed,
+        )
+        self._predicates = PredicateEnumerator(
+            strategies=config_.strategies,
+            feature_columns=config_.feature_columns,
+            min_precision=config_.min_precision,
+            weight_by_influence=config_.weight_by_influence,
+            seed=config_.seed,
+        )
+        self._ranker = PredicateRanker(
+            weights=config_.ranker_weights, max_terms=config_.max_terms
+        )
+        self._merger = None
+        if config_.merge_predicates:
+            from .merger import PredicateMerger
+
+            self._merger = PredicateMerger(
+                weights=config_.ranker_weights, max_terms=config_.max_terms
+            )
+
+    def debug(
+        self,
+        result: ResultSet,
+        selected_rows: Sequence[int] | np.ndarray,
+        metric: ErrorMetric,
+        dprime_tids: Sequence[int] | np.ndarray = (),
+        agg_name: str | None = None,
+    ) -> DebugReport:
+        """Run the full pipeline and return the ranked predicate report.
+
+        Parameters mirror the paper's inputs: the executed query result,
+        the suspicious output rows S, the error metric ε, the optional
+        suspicious input examples D', and which aggregate column to debug.
+        """
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        pre = self._preprocessor.run(result, selected_rows, metric, agg_name=agg_name)
+        timings["preprocess"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidates = self._enumerator.run(pre, dprime_tids)
+        timings["enumerate_datasets"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidate_rules = self._predicates.run(pre, candidates)
+        timings["enumerate_predicates"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ranked = self._ranker.run(pre, candidates, candidate_rules)
+        if self._merger is not None:
+            ranked = self._merger.run(pre, candidates, ranked)
+        timings["rank"] = time.perf_counter() - start
+
+        return DebugReport(
+            predicates=tuple(ranked),
+            epsilon=pre.epsilon,
+            metric_description=metric.describe(),
+            selected_rows=pre.selected_rows,
+            n_inputs=len(pre.F),
+            n_dprime=len(np.asarray(list(dprime_tids), dtype=np.int64)),
+            n_candidates=len(candidates),
+            timings=timings,
+        )

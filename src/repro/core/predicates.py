@@ -1,0 +1,186 @@
+"""The Predicate Enumerator: decision trees over each candidate set.
+
+Paper §2.2.2: *"The Predicate Enumerator then builds a decision tree on
+each candidate dataset D^c_i by labeling D^c_i as the positive class and
+F − D^c_i as negative. We currently use m standard splitting and pruning
+strategies (e.g., gini, gain ratio) to construct several trees from each
+dataset."*
+
+Each positive root-to-leaf path of each tree becomes a predicate; the
+subgroup rule that generated a candidate (when present) is included
+directly. Sample weights can optionally be biased by influence so that
+high-influence tuples dominate the split choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..db.table import Table
+from ..errors import PipelineError
+from ..learn.rules import Rule, dedupe_rules
+from ..learn.tree import DecisionTree
+from .enumerator import CandidateSet
+from .preprocessor import PreprocessResult
+
+
+@dataclass(frozen=True)
+class TreeStrategy:
+    """One splitting/pruning configuration (one of the paper's *m* strategies)."""
+
+    criterion: str = "gini"
+    max_depth: int = 5
+    prune: str = "none"  # "none" | "rep" | "ccp"
+    ccp_alpha: float = 0.0
+    min_samples_leaf: int = 2
+
+    def describe(self) -> str:
+        """Short label, e.g. ``gini/rep``."""
+        suffix = f"/{self.prune}" if self.prune != "none" else ""
+        return f"{self.criterion}{suffix}"
+
+
+#: The default m = 5 strategies: three criteria, two pruning modes.
+DEFAULT_STRATEGIES: tuple[TreeStrategy, ...] = (
+    TreeStrategy(criterion="gini"),
+    TreeStrategy(criterion="entropy"),
+    TreeStrategy(criterion="gain_ratio"),
+    TreeStrategy(criterion="gini", prune="rep"),
+    TreeStrategy(criterion="gini", prune="ccp", ccp_alpha=0.01),
+)
+
+
+@dataclass(frozen=True)
+class CandidateRule:
+    """A rule together with the candidate set it describes."""
+
+    candidate_index: int
+    rule: Rule
+
+
+class PredicateEnumerator:
+    """Builds trees per (candidate × strategy) and extracts predicates."""
+
+    def __init__(
+        self,
+        strategies: Sequence[TreeStrategy] = DEFAULT_STRATEGIES,
+        feature_columns: Sequence[str] | None = None,
+        min_precision: float = 0.5,
+        weight_by_influence: bool = False,
+        validation_fraction: float = 0.3,
+        seed: int = 0,
+    ):
+        if not strategies:
+            raise PipelineError("at least one tree strategy is required")
+        if not 0.0 < validation_fraction < 1.0:
+            raise PipelineError("validation_fraction must be in (0, 1)")
+        self.strategies = tuple(strategies)
+        self.feature_columns = tuple(feature_columns) if feature_columns else None
+        self.min_precision = min_precision
+        self.weight_by_influence = weight_by_influence
+        self.validation_fraction = validation_fraction
+        self.seed = seed
+
+    def run(
+        self, pre: PreprocessResult, candidates: Sequence[CandidateSet]
+    ) -> list[CandidateRule]:
+        """Enumerate predicates for every candidate set."""
+        F = pre.F
+        features = self._features(F)
+        weights = self._weights(pre)
+        out: list[CandidateRule] = []
+        for index, candidate in enumerate(candidates):
+            labels = candidate.label_mask(F)
+            if not labels.any() or labels.all():
+                continue
+            rules: list[Rule] = list(candidate.rules)
+            for strategy in self.strategies:
+                rules.extend(
+                    self._tree_rules(F, labels, weights, features, strategy)
+                )
+            for rule in dedupe_rules(rules):
+                out.append(CandidateRule(candidate_index=index, rule=rule))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _tree_rules(
+        self,
+        F: Table,
+        labels: np.ndarray,
+        weights: np.ndarray | None,
+        features: list[str],
+        strategy: TreeStrategy,
+    ) -> list[Rule]:
+        tree = DecisionTree(
+            criterion=strategy.criterion,
+            max_depth=strategy.max_depth,
+            min_samples_leaf=strategy.min_samples_leaf,
+        )
+        if strategy.prune == "rep":
+            train_idx, val_idx = self._split_indices(len(F), labels)
+            if len(val_idx) == 0 or not labels[train_idx].any():
+                tree.fit(F, labels, sample_weight=weights, features=features)
+            else:
+                train_w = weights[train_idx] if weights is not None else None
+                tree.fit(
+                    F.take(train_idx),
+                    labels[train_idx],
+                    sample_weight=train_w,
+                    features=features,
+                )
+                tree.prune_reduced_error(F.take(val_idx), labels[val_idx])
+        else:
+            tree.fit(F, labels, sample_weight=weights, features=features)
+            if strategy.prune == "ccp":
+                tree.cost_complexity_prune(strategy.ccp_alpha)
+        rules = tree.positive_rules(min_precision=self.min_precision)
+        return [
+            Rule(
+                predicate=rule.predicate,
+                n_covered=rule.n_covered,
+                n_pos_covered=rule.n_pos_covered,
+                quality=rule.quality,
+                source=f"tree:{strategy.describe()}",
+                extra=rule.extra,
+            )
+            for rule in rules
+        ]
+
+    def _split_indices(
+        self, n: int, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stratified train/validation split for reduced-error pruning."""
+        rng = np.random.default_rng(self.seed)
+        indices = np.arange(n, dtype=np.int64)
+        train_parts = []
+        val_parts = []
+        for cls in (True, False):
+            cls_indices = indices[labels == cls]
+            rng.shuffle(cls_indices)
+            n_val = int(round(len(cls_indices) * self.validation_fraction))
+            val_parts.append(cls_indices[:n_val])
+            train_parts.append(cls_indices[n_val:])
+        train = np.sort(np.concatenate(train_parts))
+        val = np.sort(np.concatenate(val_parts))
+        if len(train) == 0:
+            return indices, np.empty(0, dtype=np.int64)
+        return train, val
+
+    def _features(self, F: Table) -> list[str]:
+        if self.feature_columns:
+            return [name for name in self.feature_columns if name in F.schema]
+        return list(F.schema.names)
+
+    def _weights(self, pre: PreprocessResult) -> np.ndarray | None:
+        if not self.weight_by_influence:
+            return None
+        scores = pre.influence.score_of(np.asarray(pre.F.tids))
+        positive = np.maximum(scores, 0.0)
+        peak = positive.max()
+        if peak <= 0:
+            return None
+        return 1.0 + positive / peak

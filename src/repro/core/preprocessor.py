@@ -1,0 +1,159 @@
+"""The Preprocessor: from (Q results, S, ε) to (F, influence ranking).
+
+Paper §2.2.2: *"First, the Preprocessor computes F, the set of input
+tuples that generated S; F − D' is an approximate set of error-free
+input tuples. It then uses leave-one-out analysis to rank each tuple in
+F by how much it influences ε."*
+
+The fine-grained provenance captured at execution time supplies the
+group→tids map; the statement AST supplies the aggregate argument
+expression so input values can be re-derived for any subset of tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.aggregates import Aggregate, get_aggregate
+from ..db.result import ResultSet
+from ..db.sqlparse.ast_nodes import AggregateCall, Star
+from ..db.table import Table
+from ..errors import PipelineError
+from .error_metrics import ErrorMetric
+from .influence import InfluenceResult, leave_one_out_influence
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """Everything downstream stages need about the debugged selection."""
+
+    #: Union of input tuples behind the selected rows (the paper's F).
+    F: Table
+    #: Leave-one-out influence ranking over F.
+    influence: InfluenceResult
+    #: The selected result-row indexes (the paper's S).
+    selected_rows: tuple[int, ...]
+    #: The error metric ε.
+    metric: ErrorMetric
+    #: Output column being debugged.
+    agg_name: str
+    #: Aggregate implementation for that column.
+    aggregate: Aggregate
+    #: Per selected group: input values of the aggregate argument.
+    group_values: tuple[np.ndarray, ...]
+    #: Per selected group: tids aligned with ``group_values``.
+    group_tids: tuple[np.ndarray, ...]
+
+    @property
+    def epsilon(self) -> float:
+        """ε of the current (uncleaned) selection."""
+        return self.influence.epsilon
+
+    def group_masks_for_tids(self, tids: np.ndarray) -> list[np.ndarray]:
+        """Per-group boolean masks marking which group tuples are in ``tids``."""
+        tid_set = set(int(t) for t in np.asarray(tids).ravel())
+        masks = []
+        for group_tids in self.group_tids:
+            masks.append(
+                np.fromiter(
+                    (int(t) in tid_set for t in group_tids),
+                    dtype=bool,
+                    count=len(group_tids),
+                )
+            )
+        return masks
+
+
+class Preprocessor:
+    """Computes F and the influence ranking for a debugging request."""
+
+    def __init__(self, fast_influence: bool = True):
+        self.fast_influence = fast_influence
+
+    def run(
+        self,
+        result: ResultSet,
+        selected_rows: list[int] | tuple[int, ...] | np.ndarray,
+        metric: ErrorMetric,
+        agg_name: str | None = None,
+    ) -> PreprocessResult:
+        """Compute :class:`PreprocessResult` for the selection ``S``.
+
+        ``agg_name`` picks which aggregate output column is being debugged;
+        it defaults to the first aggregate in the SELECT list.
+        """
+        selected = tuple(int(r) for r in selected_rows)
+        if not selected:
+            raise PipelineError("S is empty: select at least one suspicious result")
+        for row in selected:
+            if row < 0 or row >= result.num_rows:
+                raise PipelineError(f"selected row {row} out of range")
+        if not result.aggregate_names:
+            raise PipelineError("ranked provenance requires an aggregate query")
+        if agg_name is None:
+            agg_name = result.aggregate_names[0]
+        if agg_name not in result.aggregate_names:
+            raise PipelineError(
+                f"{agg_name!r} is not an aggregate output "
+                f"(have: {result.aggregate_names})"
+            )
+        call = self._find_call(result, agg_name)
+        aggregate = get_aggregate(call.func)
+        base = result.fine.base
+
+        group_values: list[np.ndarray] = []
+        group_tids: list[np.ndarray] = []
+        for row in selected:
+            tids = result.fine.lineage(row)
+            group_table = base.take_tids(tids)
+            group_values.append(_agg_arg_values(call, group_table))
+            group_tids.append(tids)
+
+        influence = leave_one_out_influence(
+            group_values,
+            group_tids,
+            list(selected),
+            aggregate,
+            metric,
+            fast=self.fast_influence,
+        )
+        F = result.fine.lineage_table_many(list(selected))
+        return PreprocessResult(
+            F=F,
+            influence=influence,
+            selected_rows=selected,
+            metric=metric,
+            agg_name=agg_name,
+            aggregate=aggregate,
+            group_values=tuple(group_values),
+            group_tids=tuple(group_tids),
+        )
+
+    @staticmethod
+    def _find_call(result: ResultSet, agg_name: str) -> AggregateCall:
+        # Walk the SELECT items in output order, matching planner naming.
+        from ..db.planner import plan_select
+
+        plan = plan_select(result.statement, result.fine.base.schema)
+        for spec in plan.aggs:
+            if spec.output_name == agg_name:
+                return spec.call
+        raise PipelineError(f"could not resolve aggregate column {agg_name!r}")
+
+
+def _agg_arg_values(call: AggregateCall, table: Table) -> np.ndarray:
+    """The aggregate argument evaluated over a group's tuples."""
+    if isinstance(call.arg, Star):
+        return np.ones(len(table), dtype=np.float64)
+    values = call.arg.eval(table)
+    if values.dtype == object:
+        if call.func == "count":
+            return np.fromiter(
+                (np.nan if v is None else 1.0 for v in values),
+                dtype=np.float64,
+                count=len(values),
+            )
+        raise PipelineError(f"{call.func}() argument is not numeric")
+    return np.asarray(values, dtype=np.float64)

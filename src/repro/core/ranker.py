@@ -1,0 +1,156 @@
+"""The Predicate Ranker.
+
+Paper §2.2.2: *"the Predicate Ranker computes a score for each tree
+that increases with improvement in the error metric, and the accuracy of
+the tree at differentiating D^c_i from F − D^c_i, and decreases by the
+complexity (number of terms in) the predicate."*
+
+Concretely, for predicate p over candidate c::
+
+    score(p) = w_err  · (ε(S) − ε(S without p's tuples)) / ε(S)
+             + w_acc  · F1(p matches F, c labels F)
+             − w_cmpl · min(terms(p) / max_terms, 1)
+
+Δε is evaluated with removable-aggregate subset removal
+(:func:`repro.core.influence.subset_epsilon`) — no query re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+from ..errors import PipelineError
+from ..learn.metrics import confusion
+from .enumerator import CandidateSet
+from .influence import subset_epsilon
+from .predicates import CandidateRule
+from .preprocessor import PreprocessResult
+from .report import RankedPredicate
+
+
+@dataclass(frozen=True)
+class RankerWeights:
+    """The score components' weights.
+
+    ``error``, ``accuracy`` and ``complexity`` are the paper's three
+    criteria. ``parsimony`` is the data-cleaning corollary of the ideal
+    formulation (minimize ε by deleting D*): among predicates with equal
+    error reduction, the one deleting fewer tuples destroys less good
+    data and should rank higher.
+    """
+
+    error: float = 1.0
+    accuracy: float = 0.5
+    complexity: float = 0.25
+    parsimony: float = 0.3
+
+    def __post_init__(self) -> None:
+        if min(self.error, self.accuracy, self.complexity, self.parsimony) < 0:
+            raise PipelineError("ranker weights must be non-negative")
+
+
+class PredicateRanker:
+    """Scores and orders candidate predicates."""
+
+    def __init__(
+        self,
+        weights: RankerWeights = RankerWeights(),
+        max_terms: int = 8,
+        drop_nonpositive_error: bool = True,
+    ):
+        self.weights = weights
+        self.max_terms = max_terms
+        self.drop_nonpositive_error = drop_nonpositive_error
+
+    def run(
+        self,
+        pre: PreprocessResult,
+        candidates: Sequence[CandidateSet],
+        candidate_rules: Sequence[CandidateRule],
+    ) -> list[RankedPredicate]:
+        """Rank every enumerated predicate; best first."""
+        epsilon = pre.epsilon
+        ranked: list[RankedPredicate] = []
+        group_tables = [
+            pre.F.take_tids(tids) for tids in pre.group_tids
+        ]
+        for candidate_rule in candidate_rules:
+            candidate = candidates[candidate_rule.candidate_index]
+            rule = candidate_rule.rule
+            mask_f = rule.predicate.mask(pre.F)
+            n_matched = int(mask_f.sum())
+            if n_matched == 0:
+                continue
+            # Δε via removable aggregates, per selected group.
+            remove_masks = [
+                rule.predicate.mask(group_table) for group_table in group_tables
+            ]
+            epsilon_after = subset_epsilon(
+                list(pre.group_values), remove_masks, pre.aggregate, pre.metric
+            )
+            relative_reduction = (
+                (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0
+            )
+            if self.drop_nonpositive_error and relative_reduction <= 0:
+                continue
+            labels = candidate.label_mask(pre.F)
+            stats = confusion(labels, mask_f)
+            penalty = min(rule.predicate.complexity / self.max_terms, 1.0)
+            matched_fraction = n_matched / max(len(pre.F), 1)
+            score = (
+                self.weights.error * relative_reduction
+                + self.weights.accuracy * stats.f1
+                - self.weights.complexity * penalty
+                - self.weights.parsimony * matched_fraction
+            )
+            ranked.append(
+                RankedPredicate(
+                    predicate=rule.predicate,
+                    score=score,
+                    epsilon_before=epsilon,
+                    epsilon_after=epsilon_after,
+                    accuracy=stats.f1,
+                    precision=stats.precision,
+                    recall=stats.recall,
+                    complexity=rule.predicate.complexity,
+                    n_matched=n_matched,
+                    candidate_origin=candidate.origin,
+                    source=rule.source,
+                )
+            )
+        ranked = self._dedupe(ranked, pre)
+        ranked.sort(key=lambda r: (-r.score, r.complexity, r.predicate.describe()))
+        return ranked
+
+    @staticmethod
+    def _dedupe(
+        ranked: list[RankedPredicate], pre: PreprocessResult
+    ) -> list[RankedPredicate]:
+        """Keep one entry per (matched tuple set, columns used).
+
+        Different trees often emit near-identical thresholds (e.g.
+        ``measure > 58.43`` vs ``measure > 58.44``) that select exactly the
+        same tuples of F; showing them all would clutter the Figure-6
+        panel without adding information. Descriptions over *different
+        columns* are kept even when they denote the same tuples (e.g.
+        ``memo = 'REATTRIBUTION TO SPOUSE'`` vs ``amount <= -249``) —
+        alternative framings of the anomaly are exactly what the user
+        wants to compare.
+        """
+        best: dict[tuple, RankedPredicate] = {}
+        for entry in ranked:
+            key = (
+                entry.predicate.mask(pre.F).tobytes(),
+                frozenset(entry.predicate.columns()),
+            )
+            existing = best.get(key)
+            if (
+                existing is None
+                or entry.score > existing.score
+                or (entry.score == existing.score
+                    and entry.complexity < existing.complexity)
+            ):
+                best[key] = entry
+        return list(best.values())

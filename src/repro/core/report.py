@@ -1,0 +1,107 @@
+"""Result containers: ranked predicates and the debug report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.predicate import Predicate
+
+
+@dataclass(frozen=True)
+class RankedPredicate:
+    """One entry of the ranked predicate list (Figure 6 of the paper)."""
+
+    predicate: Predicate
+    #: Combined ranking score (higher is better).
+    score: float
+    #: ε before any cleaning.
+    epsilon_before: float
+    #: ε after hypothetically removing the predicate's tuples.
+    epsilon_after: float
+    #: F1 of the predicate against its candidate set over F.
+    accuracy: float
+    #: Precision / recall components of that accuracy.
+    precision: float
+    recall: float
+    #: Number of atomic conditions in the predicate.
+    complexity: int
+    #: Number of tuples of F the predicate matches.
+    n_matched: int
+    #: Origin of the candidate set (dprime / influence / subgroup / ...).
+    candidate_origin: str
+    #: Learner that produced the predicate (tree:gini, cn2sd, ...).
+    source: str
+
+    @property
+    def error_reduction(self) -> float:
+        """Absolute ε improvement from applying this predicate."""
+        return self.epsilon_before - self.epsilon_after
+
+    @property
+    def relative_error_reduction(self) -> float:
+        """Fractional ε improvement (0 when ε was already 0)."""
+        if self.epsilon_before <= 0:
+            return 0.0
+        return self.error_reduction / self.epsilon_before
+
+    def describe(self) -> str:
+        """Compact one-line rendering."""
+        return (
+            f"{self.predicate.describe()}  "
+            f"[score={self.score:.3f} Δε={self.error_reduction:.3g} "
+            f"({100 * self.relative_error_reduction:.0f}%) f1={self.accuracy:.2f} "
+            f"terms={self.complexity}]"
+        )
+
+
+@dataclass(frozen=True)
+class DebugReport:
+    """The output of one ranked-provenance debugging request."""
+
+    predicates: tuple[RankedPredicate, ...]
+    epsilon: float
+    metric_description: str
+    selected_rows: tuple[int, ...]
+    n_inputs: int
+    n_dprime: int
+    n_candidates: int
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __getitem__(self, index: int) -> RankedPredicate:
+        return self.predicates[index]
+
+    @property
+    def best(self) -> RankedPredicate | None:
+        """The top-ranked predicate, or ``None`` when nothing was found."""
+        return self.predicates[0] if self.predicates else None
+
+    def top(self, k: int) -> tuple[RankedPredicate, ...]:
+        """The best ``k`` predicates."""
+        return self.predicates[:k]
+
+    def total_time(self) -> float:
+        """Wall-clock total across recorded pipeline stages (seconds)."""
+        return sum(self.timings.values())
+
+    def to_text(self, max_rows: int = 10) -> str:
+        """The ranked-predicate panel, in the spirit of Figure 6."""
+        lines = [
+            f"Ranked predicates — {self.metric_description}",
+            f"S = {list(self.selected_rows)}, |F| = {self.n_inputs}, "
+            f"|D'| = {self.n_dprime}, candidates = {self.n_candidates}, "
+            f"eps = {self.epsilon:.4g}",
+            "-" * 72,
+        ]
+        if not self.predicates:
+            lines.append("(no predicates found)")
+        for rank, ranked in enumerate(self.predicates[:max_rows], start=1):
+            lines.append(f"{rank:2d}. {ranked.describe()}")
+        if len(self.predicates) > max_rows:
+            lines.append(f"... ({len(self.predicates) - max_rows} more)")
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Ground truth containers and explanation-quality evaluation.
+
+The original demo ran on real datasets with *plausible* but unlabeled
+anomalies. Our synthetic substitutes inject anomalies deliberately, so
+every generated table ships a :class:`GroundTruth`: the exact tids of
+the corrupted tuples and, when one exists, the hidden predicate that
+characterizes them. That turns the demo's qualitative story into the
+measurable precision/recall evaluation of the Q1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.predicate import Predicate
+from ..db.table import Table
+from ..learn.metrics import Confusion, confusion
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The injected anomaly: its tuples and its hidden description."""
+
+    tids: np.ndarray
+    description: str
+    predicate: Predicate | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of injected anomalous tuples."""
+        return len(self.tids)
+
+    def label_mask(self, table: Table) -> np.ndarray:
+        """Boolean labels over ``table``: True where the row is anomalous."""
+        tid_set = set(int(t) for t in self.tids)
+        table_tids = np.asarray(table.tids)
+        return np.fromiter(
+            (int(t) in tid_set for t in table_tids),
+            dtype=bool,
+            count=len(table_tids),
+        )
+
+
+def explanation_quality(
+    predicate: Predicate, table: Table, truth: GroundTruth
+) -> Confusion:
+    """Confusion counts of a predicate explanation against the ground truth.
+
+    Evaluated over ``table`` (typically F, the provenance of the selected
+    results): a perfect explanation matches exactly the injected tuples.
+    """
+    labels = truth.label_mask(table)
+    predicted = predicate.mask(table)
+    return confusion(labels, predicted)
+
+
+def tid_set_quality(tids: np.ndarray, table: Table, truth: GroundTruth) -> Confusion:
+    """Confusion counts of a raw tid-set explanation (for tuple-level baselines)."""
+    predicted_set = set(int(t) for t in np.asarray(tids).ravel())
+    table_tids = np.asarray(table.tids)
+    predicted = np.fromiter(
+        (int(t) in predicted_set for t in table_tids),
+        dtype=bool,
+        count=len(table_tids),
+    )
+    labels = truth.label_mask(table)
+    return confusion(labels, predicted)

@@ -1,0 +1,204 @@
+"""Synthetic FEC presidential campaign contributions dataset.
+
+The demo used the real 2012 FEC dump (and the §3.2 walkthrough, the 2008
+cycle). That data is unavailable offline, so this generator reproduces
+the statistical shape the walkthrough depends on:
+
+* per-day donation counts with a baseline rate plus event spikes
+  ("each contribution spike correlates with a major campaign event");
+* lognormal donation amounts clipped to the legal individual limit;
+* realistic categorical attributes (state, city, occupation, memo);
+* the anomaly: a burst of **negative** donations around a configurable
+  day (~500 in the story), all carrying the memo
+  ``REATTRIBUTION TO SPOUSE``, attributed to one candidate.
+
+Ground truth: the tids of the reattribution rows; hidden predicate:
+``memo = 'REATTRIBUTION TO SPOUSE'`` — exactly the predicate the data
+journalist clicks in the walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.predicate import CategoricalClause, Predicate
+from ..db.table import Table
+from .anomalies import GroundTruth
+from .rng import choice_weighted, make_rng
+
+REATTRIBUTION_MEMO = "REATTRIBUTION TO SPOUSE"
+
+_STATES = ["CA", "NY", "TX", "FL", "MA", "IL", "WA", "VA", "OH", "PA"]
+_CITIES = {
+    "CA": ["LOS ANGELES", "SAN FRANCISCO", "SAN DIEGO"],
+    "NY": ["NEW YORK", "BUFFALO", "ALBANY"],
+    "TX": ["HOUSTON", "AUSTIN", "DALLAS"],
+    "FL": ["MIAMI", "TAMPA", "ORLANDO"],
+    "MA": ["BOSTON", "CAMBRIDGE", "WORCESTER"],
+    "IL": ["CHICAGO", "SPRINGFIELD", "EVANSTON"],
+    "WA": ["SEATTLE", "SPOKANE", "TACOMA"],
+    "VA": ["ARLINGTON", "RICHMOND", "NORFOLK"],
+    "OH": ["COLUMBUS", "CLEVELAND", "CINCINNATI"],
+    "PA": ["PHILADELPHIA", "PITTSBURGH", "HARRISBURG"],
+}
+_OCCUPATIONS = [
+    "RETIRED", "ATTORNEY", "PHYSICIAN", "ENGINEER", "TEACHER", "HOMEMAKER",
+    "CONSULTANT", "EXECUTIVE", "PROFESSOR", "NOT EMPLOYED", "CEO", "STUDENT",
+]
+_OCCUPATION_WEIGHTS = [20, 10, 8, 7, 7, 6, 5, 4, 4, 3, 2, 6]
+_BENIGN_MEMOS = ["", "", "", "", "", "", "", "", "GENERAL", "PRIMARY"]
+
+
+@dataclass(frozen=True)
+class FECConfig:
+    """Knobs of the synthetic contributions generator."""
+
+    candidates: tuple[str, ...] = ("OBAMA", "MCCAIN")
+    n_days: int = 600
+    #: Mean donations per candidate per day at baseline.
+    base_rate: float = 30.0
+    #: (day, multiplier) campaign-event spikes applied to every candidate.
+    events: tuple[tuple[int, float], ...] = (
+        (120, 4.0), (260, 3.0), (380, 5.0), (470, 3.5), (560, 6.0),
+    )
+    #: Lognormal amount parameters and the legal per-donor cap.
+    amount_mu: float = 4.6
+    amount_sigma: float = 1.1
+    amount_cap: float = 2300.0
+    #: The anomaly: candidate, center day, spread, row count, amounts.
+    anomaly_candidate: str = "MCCAIN"
+    anomaly_day: int = 500
+    anomaly_spread: int = 3
+    anomaly_count: int = 80
+    anomaly_amount_lo: float = -2300.0
+    anomaly_amount_hi: float = -500.0
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.anomaly_candidate not in self.candidates:
+            raise ValueError("anomaly_candidate must be one of candidates")
+        if not 0 <= self.anomaly_day < self.n_days:
+            raise ValueError("anomaly_day out of range")
+
+
+def generate_fec(config: FECConfig | None = None) -> tuple[Table, GroundTruth]:
+    """Generate the contributions table and its ground truth.
+
+    Columns: ``candidate`` (STR), ``amount`` (FLOAT, negative for the
+    injected reattributions), ``day`` (INT since campaign start),
+    ``state``, ``city``, ``occupation``, ``memo`` (STR).
+    """
+    config = config or FECConfig()
+    rng = make_rng(config.seed)
+
+    day_rates = np.full(config.n_days, config.base_rate, dtype=np.float64)
+    for event_day, multiplier in config.events:
+        if 0 <= event_day < config.n_days:
+            window = slice(max(event_day - 2, 0), min(event_day + 3, config.n_days))
+            day_rates[window] *= multiplier
+
+    candidates: list[str] = []
+    amounts: list[float] = []
+    days: list[int] = []
+    for candidate in config.candidates:
+        # Candidate-specific popularity wiggle so the series differ.
+        wiggle = 0.7 + 0.6 * rng.random(config.n_days)
+        counts = rng.poisson(day_rates * wiggle)
+        for day, count in enumerate(counts):
+            if count == 0:
+                continue
+            raw = rng.lognormal(config.amount_mu, config.amount_sigma, count)
+            raw = np.minimum(raw, config.amount_cap)
+            raw = np.maximum(raw, 5.0)
+            amounts.extend(float(a) for a in np.round(raw, 2))
+            days.extend([day] * int(count))
+            candidates.extend([candidate] * int(count))
+
+    n_normal = len(amounts)
+    state_arr = choice_weighted(
+        rng, _STATES, [10, 9, 8, 7, 6, 6, 5, 4, 4, 4], n_normal
+    )
+    city_arr = np.empty(n_normal, dtype=object)
+    for i in range(n_normal):
+        options = _CITIES[state_arr[i]]
+        city_arr[i] = options[int(rng.integers(len(options)))]
+    occupation_arr = choice_weighted(rng, _OCCUPATIONS, _OCCUPATION_WEIGHTS, n_normal)
+    memo_arr = choice_weighted(rng, _BENIGN_MEMOS, [1.0] * len(_BENIGN_MEMOS), n_normal)
+
+    # Inject the reattribution burst.
+    anomaly_days = rng.integers(
+        config.anomaly_day - config.anomaly_spread,
+        config.anomaly_day + config.anomaly_spread + 1,
+        config.anomaly_count,
+    )
+    anomaly_amounts = np.round(
+        rng.uniform(config.anomaly_amount_lo, config.anomaly_amount_hi,
+                    config.anomaly_count),
+        2,
+    )
+    anomaly_states = choice_weighted(
+        rng, _STATES, [10, 9, 8, 7, 6, 6, 5, 4, 4, 4], config.anomaly_count
+    )
+    anomaly_cities = np.empty(config.anomaly_count, dtype=object)
+    for i in range(config.anomaly_count):
+        options = _CITIES[anomaly_states[i]]
+        anomaly_cities[i] = options[int(rng.integers(len(options)))]
+    anomaly_occupations = choice_weighted(
+        rng, ["CEO", "EXECUTIVE", "HOMEMAKER"], [5, 3, 4], config.anomaly_count
+    )
+
+    candidates.extend([config.anomaly_candidate] * config.anomaly_count)
+    amounts.extend(float(a) for a in anomaly_amounts)
+    days.extend(int(d) for d in anomaly_days)
+    all_states = np.concatenate([state_arr, anomaly_states])
+    all_cities = np.concatenate([city_arr, anomaly_cities])
+    all_occupations = np.concatenate([occupation_arr, anomaly_occupations])
+    all_memos = np.concatenate(
+        [memo_arr, np.array([REATTRIBUTION_MEMO] * config.anomaly_count, dtype=object)]
+    )
+
+    table = Table.from_columns(
+        {
+            "candidate": candidates,
+            "amount": amounts,
+            "day": days,
+            "state": list(all_states),
+            "city": list(all_cities),
+            "occupation": list(all_occupations),
+            "memo": list(all_memos),
+        },
+        types={
+            "candidate": "str",
+            "amount": "float",
+            "day": "int",
+            "state": "str",
+            "city": "str",
+            "occupation": "str",
+            "memo": "str",
+        },
+        name="contributions",
+    )
+    truth_tids = np.asarray(table.tids)[n_normal:]
+    truth = GroundTruth(
+        tids=truth_tids,
+        description=(
+            f"{config.anomaly_count} negative donations to "
+            f"{config.anomaly_candidate} around day {config.anomaly_day} "
+            f"with memo {REATTRIBUTION_MEMO!r}"
+        ),
+        predicate=Predicate(
+            [CategoricalClause("memo", frozenset([REATTRIBUTION_MEMO]))]
+        ),
+    )
+    return table, truth
+
+
+#: The walkthrough query of Figure 7: daily totals for one candidate.
+def walkthrough_query(candidate: str = "MCCAIN") -> str:
+    """The Figure 7 query: total received donations per day for a candidate."""
+    return (
+        f"SELECT day, sum(amount) AS total FROM contributions "
+        f"WHERE candidate = '{candidate}' GROUP BY day ORDER BY day"
+    )

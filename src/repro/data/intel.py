@@ -1,0 +1,184 @@
+"""Synthetic Intel Lab sensor dataset.
+
+The real trace (http://db.csail.mit.edu/labdata/labdata.html) holds 2.3
+million readings from 54 motes over a month: temperature, humidity,
+light, and battery voltage about twice a minute. Its famous failure mode
+— which the DBWipes walkthrough (Figure 4/6) leans on — is that motes
+with dying batteries report wildly inflated temperatures (>100°F) with
+high variance, while their voltage sags below ~2.4V.
+
+This generator reproduces that shape deterministically:
+
+* diurnal temperature sinusoid per sensor plus Gaussian noise;
+* humidity anti-correlated with temperature; light following a daylight
+  curve; voltage decaying slowly from ~2.9V;
+* configured *failing sensors* whose voltage collapses after an onset
+  time and whose temperature readings climb into the 100–140 range with
+  inflated variance.
+
+Ground truth: the tids of all post-onset readings from failing sensors;
+hidden predicate: ``sensorid IN failing AND temp > 100``-ish (we record
+the sensor-id predicate, which is the cleanest human description).
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.predicate import NumericClause, Predicate
+from ..db.table import Table
+from .anomalies import GroundTruth
+from .rng import make_rng
+
+#: 30-minute windows, matching the paper's example query.
+WINDOW_MINUTES = 30
+
+
+@dataclass(frozen=True)
+class IntelConfig:
+    """Knobs of the synthetic Intel Lab generator."""
+
+    n_sensors: int = 54
+    #: Total simulated duration in minutes (a month = 43200).
+    duration_minutes: int = 720
+    #: Minutes between consecutive readings of one sensor (paper: ~0.5).
+    interval_minutes: float = 2.0
+    #: Sensor ids that fail (1-based like the real deployment).
+    failing_sensors: tuple[int, ...] = (15, 18)
+    #: Fraction of the duration at which failures begin.
+    failure_onset_frac: float = 0.5
+    #: Mean indoor temperature in °F and diurnal swing.
+    base_temp: float = 68.0
+    diurnal_swing: float = 6.0
+    noise_std: float = 1.2
+    #: Failure plateau: readings climb from ~100 to this peak.
+    failure_peak_temp: float = 140.0
+    failure_noise_std: float = 8.0
+    healthy_voltage: float = 2.9
+    failure_voltage: float = 2.25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_sensors < 1:
+            raise ValueError("n_sensors must be >= 1")
+        for sensor in self.failing_sensors:
+            if not 1 <= sensor <= self.n_sensors:
+                raise ValueError(f"failing sensor {sensor} out of range")
+
+
+def generate_intel(config: IntelConfig | None = None) -> tuple[Table, GroundTruth]:
+    """Generate the synthetic sensor table and its ground truth.
+
+    Columns: ``sensorid`` (INT, 1-based), ``epoch`` (INT, per-sensor
+    reading index), ``minute`` (INT since start), ``hour`` (INT),
+    ``temp``, ``humidity``, ``light``, ``voltage`` (FLOAT).
+    """
+    config = config or IntelConfig()
+    rng = make_rng(config.seed)
+    readings_per_sensor = int(config.duration_minutes / config.interval_minutes)
+    n = config.n_sensors * readings_per_sensor
+    onset_minute = config.duration_minutes * config.failure_onset_frac
+
+    sensorid = np.repeat(
+        np.arange(1, config.n_sensors + 1, dtype=np.int64), readings_per_sensor
+    )
+    epoch = np.tile(np.arange(readings_per_sensor, dtype=np.int64), config.n_sensors)
+    minute = (epoch * config.interval_minutes).astype(np.int64)
+    hour = minute // 60
+
+    # Per-sensor personality: a fixed offset and diurnal phase.
+    offsets = rng.normal(0.0, 1.5, config.n_sensors)[sensorid - 1]
+    phases = rng.uniform(0, 2 * np.pi, config.n_sensors)[sensorid - 1]
+    day_angle = 2 * np.pi * (minute % 1440) / 1440.0
+    temp = (
+        config.base_temp
+        + offsets
+        + config.diurnal_swing * np.sin(day_angle - np.pi / 2 + phases * 0.05)
+        + rng.normal(0, config.noise_std, n)
+    )
+    humidity = 45.0 - 0.6 * (temp - config.base_temp) + rng.normal(0, 2.0, n)
+    light = np.maximum(
+        0.0,
+        420.0 * np.maximum(np.sin(day_angle - np.pi / 2), 0.0)
+        + rng.normal(0, 30.0, n),
+    )
+    voltage = (
+        config.healthy_voltage
+        - 0.1 * (minute / max(config.duration_minutes, 1))
+        + rng.normal(0, 0.01, n)
+    )
+
+    failing = np.isin(sensorid, np.asarray(config.failing_sensors, dtype=np.int64))
+    after_onset = minute >= onset_minute
+    broken = failing & after_onset
+    if broken.any():
+        span = max(config.duration_minutes - onset_minute, 1.0)
+        progress = np.clip((minute[broken] - onset_minute) / span, 0.0, 1.0)
+        temp[broken] = (
+            100.0
+            + (config.failure_peak_temp - 100.0) * progress
+            + rng.normal(0, config.failure_noise_std, int(broken.sum()))
+        )
+        humidity[broken] = np.maximum(
+            rng.normal(2.0, 1.5, int(broken.sum())), -5.0
+        )
+        voltage[broken] = config.failure_voltage + rng.normal(
+            0, 0.03, int(broken.sum())
+        )
+
+    table = Table.from_columns(
+        {
+            "sensorid": sensorid,
+            "epoch": epoch,
+            "minute": minute,
+            "hour": hour,
+            "temp": temp,
+            "humidity": humidity,
+            "light": light,
+            "voltage": voltage,
+        },
+        types={
+            "sensorid": "int",
+            "epoch": "int",
+            "minute": "int",
+            "hour": "int",
+            "temp": "float",
+            "humidity": "float",
+            "light": "float",
+            "voltage": "float",
+        },
+        name="readings",
+    )
+    truth_tids = np.asarray(table.tids)[broken]
+    truth_predicate = Predicate(
+        [
+            NumericClause(
+                "sensorid",
+                float(min(config.failing_sensors, default=0)),
+                float(max(config.failing_sensors, default=0)),
+                True,
+                True,
+            )
+        ]
+    ) if len(config.failing_sensors) == 1 else None
+    truth = GroundTruth(
+        tids=truth_tids,
+        description=(
+            f"sensors {sorted(config.failing_sensors)} fail after minute "
+            f"{onset_minute:.0f}: temp climbs past 100F, voltage drops to "
+            f"{config.failure_voltage}V"
+        ),
+        predicate=truth_predicate,
+    )
+    return table, truth
+
+
+#: The walkthrough query of Figure 4 (left panel): per-window avg + stddev.
+WALKTHROUGH_QUERY = (
+    "SELECT minute / 30 AS window, avg(temp) AS avg_temp, "
+    "stddev(temp) AS std_temp FROM readings GROUP BY minute / 30 "
+    "ORDER BY window"
+)

@@ -1,0 +1,25 @@
+"""Seeded randomness helpers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` from a seed (pass-through if already one)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def choice_weighted(
+    rng: np.random.Generator, values: list, weights: list[float], size: int
+) -> np.ndarray:
+    """Sample ``size`` values with the given relative weights."""
+    probabilities = np.asarray(weights, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    picks = rng.choice(len(values), size=size, p=probabilities)
+    out = np.empty(size, dtype=object)
+    for i, pick in enumerate(picks):
+        out[i] = values[pick]
+    return out

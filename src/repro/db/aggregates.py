@@ -1,0 +1,346 @@
+"""Removable aggregate functions.
+
+DBWipes needs to answer two questions much faster than naive recomputation:
+
+1. *Leave-one-out influence* (Preprocessor): for every input tuple of a
+   selected group, what would the aggregate value be if exactly that tuple
+   were removed? :meth:`Aggregate.leave_one_out` answers this for a whole
+   group in one vectorized pass — O(n) total for the algebraic aggregates
+   instead of the naive O(n²).
+
+2. *Predicate application* (Ranker / clean-as-you-query preview): what is
+   the aggregate value of a group after removing an arbitrary subset?
+   :meth:`Aggregate.compute_without` answers this from sufficient
+   statistics for algebraic aggregates (sum/count/avg/var/stddev) and by
+   reduced recomputation for min/max.
+
+NULL handling follows SQL: NaN values (the FLOAT NULL encoding) are
+ignored by every aggregate; an aggregate over zero non-null values is NaN
+(except ``count``, which is 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AggregateError
+
+#: Aggregate names accepted by the SQL parser, matching the paper's list.
+AGGREGATE_NAMES = ("avg", "sum", "count", "min", "max", "stddev", "var")
+
+
+class Aggregate:
+    """Base class for aggregate functions over a 1-D float array."""
+
+    #: SQL name of the aggregate.
+    name: str = ""
+
+    def compute(self, values: np.ndarray) -> float:
+        """The aggregate over all non-null values."""
+        raise NotImplementedError
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        """``out[i]`` = aggregate over ``values`` with element ``i`` removed.
+
+        The default implementation is the naive O(n²) loop; algebraic
+        subclasses override with O(n) closed forms. Kept callable for the
+        ablation benchmark (A1 in DESIGN.md).
+        """
+        return self.leave_one_out_naive(values)
+
+    def leave_one_out_naive(self, values: np.ndarray) -> np.ndarray:
+        """Reference O(n²) leave-one-out used for testing and ablation."""
+        values = _as_float(values)
+        n = len(values)
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            out[i] = self.compute(np.delete(values, i))
+        return out
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        """The aggregate over ``values`` with masked elements removed.
+
+        The default recomputes from scratch; algebraic subclasses subtract
+        the removed subset's sufficient statistics instead.
+        """
+        values = _as_float(values)
+        remove_mask = _as_mask(values, remove_mask)
+        return self.compute(values[~remove_mask])
+
+    def __repr__(self) -> str:
+        return f"<aggregate {self.name}>"
+
+
+def _as_float(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values)
+    if values.dtype == object:
+        raise AggregateError("aggregates require numeric input")
+    return np.asarray(values, dtype=np.float64)
+
+
+def _as_mask(values: np.ndarray, remove_mask: np.ndarray) -> np.ndarray:
+    remove_mask = np.asarray(remove_mask, dtype=bool)
+    if len(remove_mask) != len(values):
+        raise AggregateError("remove mask length does not match values")
+    return remove_mask
+
+
+def _valid(values: np.ndarray) -> np.ndarray:
+    return values[~np.isnan(values)]
+
+
+class Count(Aggregate):
+    """``count(x)`` — number of non-null values."""
+
+    name = "count"
+
+    def compute(self, values: np.ndarray) -> float:
+        return float(len(_valid(_as_float(values))))
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        values = _as_float(values)
+        nulls = np.isnan(values)
+        total = float(len(values) - nulls.sum())
+        out = np.full(len(values), total - 1.0)
+        out[nulls] = total
+        return out
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        values = _as_float(values)
+        remove_mask = _as_mask(values, remove_mask)
+        valid = ~np.isnan(values)
+        return float((valid & ~remove_mask).sum())
+
+
+class Sum(Aggregate):
+    """``sum(x)`` — NaN over zero non-null values (SQL NULL)."""
+
+    name = "sum"
+
+    def compute(self, values: np.ndarray) -> float:
+        valid = _valid(_as_float(values))
+        if len(valid) == 0:
+            return float("nan")
+        return float(valid.sum())
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        values = _as_float(values)
+        nulls = np.isnan(values)
+        n_valid = len(values) - nulls.sum()
+        if n_valid == 0:
+            return np.full(len(values), np.nan)
+        total = np.nansum(values)
+        out = total - np.where(nulls, 0.0, values)
+        if n_valid == 1:
+            out[~nulls] = np.nan
+        return out
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        values = _as_float(values)
+        remove_mask = _as_mask(values, remove_mask)
+        keep = values[~remove_mask]
+        keep = keep[~np.isnan(keep)]
+        if len(keep) == 0:
+            return float("nan")
+        total = np.nansum(values)
+        removed = values[remove_mask]
+        return float(total - np.nansum(removed))
+
+
+class Avg(Aggregate):
+    """``avg(x)``."""
+
+    name = "avg"
+
+    def compute(self, values: np.ndarray) -> float:
+        valid = _valid(_as_float(values))
+        if len(valid) == 0:
+            return float("nan")
+        return float(valid.mean())
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        values = _as_float(values)
+        nulls = np.isnan(values)
+        n_valid = len(values) - int(nulls.sum())
+        out = np.empty(len(values), dtype=np.float64)
+        if n_valid == 0:
+            out[:] = np.nan
+            return out
+        total = np.nansum(values)
+        full = total / n_valid
+        if n_valid == 1:
+            out[:] = np.nan
+            out[nulls] = full
+            return out
+        with np.errstate(invalid="ignore"):
+            out = (total - np.where(nulls, 0.0, values)) / (n_valid - 1)
+        out[nulls] = full
+        return out
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        values = _as_float(values)
+        remove_mask = _as_mask(values, remove_mask)
+        valid = ~np.isnan(values)
+        kept = valid & ~remove_mask
+        n = int(kept.sum())
+        if n == 0:
+            return float("nan")
+        total = np.nansum(values) - np.nansum(values[remove_mask])
+        return float(total / n)
+
+
+class Var(Aggregate):
+    """``var(x)`` — sample variance (n−1 denominator, PostgreSQL semantics)."""
+
+    name = "var"
+
+    def compute(self, values: np.ndarray) -> float:
+        valid = _valid(_as_float(values))
+        if len(valid) < 2:
+            return float("nan")
+        return float(valid.var(ddof=1))
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        # Moments are centered on the full-data mean before subtraction:
+        # deviations are bounded by the data spread, which avoids the
+        # catastrophic cancellation the raw sum/sum-of-squares form
+        # suffers when the mean is large relative to the variance.
+        values = _as_float(values)
+        nulls = np.isnan(values)
+        n_valid = len(values) - int(nulls.sum())
+        out = np.empty(len(values), dtype=np.float64)
+        full = self.compute(values)
+        if n_valid < 3:
+            out[:] = np.nan
+            out[nulls] = full
+            return out
+        mean = np.nansum(values) / n_valid
+        centered = np.where(nulls, 0.0, values - mean)
+        total_c = centered.sum()
+        total_c2 = (centered * centered).sum()
+        n_after = n_valid - 1
+        sum_after = total_c - centered
+        sumsq_after = total_c2 - centered * centered
+        with np.errstate(invalid="ignore"):
+            var_after = (sumsq_after - sum_after * sum_after / n_after) / (n_after - 1)
+        var_after = np.maximum(var_after, 0.0)
+        out = var_after
+        out[nulls] = full
+        return out
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        values = _as_float(values)
+        remove_mask = _as_mask(values, remove_mask)
+        valid = ~np.isnan(values)
+        kept = valid & ~remove_mask
+        n = int(kept.sum())
+        if n < 2:
+            return float("nan")
+        mean = np.nansum(values) / max(int(valid.sum()), 1)
+        centered = np.where(valid, values - mean, 0.0)
+        kept_c = np.where(kept, centered, 0.0)
+        total_c = kept_c.sum()
+        total_c2 = (kept_c * kept_c).sum()
+        var = (total_c2 - total_c * total_c / n) / (n - 1)
+        return float(max(var, 0.0))
+
+
+class Stddev(Aggregate):
+    """``stddev(x)`` — sample standard deviation."""
+
+    name = "stddev"
+
+    def __init__(self) -> None:
+        self._var = Var()
+
+    def compute(self, values: np.ndarray) -> float:
+        var = self._var.compute(values)
+        return float(np.sqrt(var)) if not np.isnan(var) else float("nan")
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        var = self._var.leave_one_out(values)
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(var)
+
+    def compute_without(self, values: np.ndarray, remove_mask: np.ndarray) -> float:
+        var = self._var.compute_without(values, remove_mask)
+        return float(np.sqrt(var)) if not np.isnan(var) else float("nan")
+
+
+class Min(Aggregate):
+    """``min(x)``."""
+
+    name = "min"
+
+    def compute(self, values: np.ndarray) -> float:
+        valid = _valid(_as_float(values))
+        if len(valid) == 0:
+            return float("nan")
+        return float(valid.min())
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        return _extreme_leave_one_out(values, smallest=True)
+
+
+class Max(Aggregate):
+    """``max(x)``."""
+
+    name = "max"
+
+    def compute(self, values: np.ndarray) -> float:
+        valid = _valid(_as_float(values))
+        if len(valid) == 0:
+            return float("nan")
+        return float(valid.max())
+
+    def leave_one_out(self, values: np.ndarray) -> np.ndarray:
+        return _extreme_leave_one_out(values, smallest=False)
+
+
+def _extreme_leave_one_out(values: np.ndarray, smallest: bool) -> np.ndarray:
+    """Vectorized leave-one-out for min/max via the two extreme values."""
+    values = _as_float(values)
+    nulls = np.isnan(values)
+    valid = values[~nulls]
+    n_valid = len(valid)
+    out = np.empty(len(values), dtype=np.float64)
+    if n_valid == 0:
+        out[:] = np.nan
+        return out
+    extreme = valid.min() if smallest else valid.max()
+    if n_valid == 1:
+        out[:] = np.nan
+        out[nulls] = extreme
+        return out
+    multiplicity = int((valid == extreme).sum())
+    if multiplicity > 1:
+        runner_up = extreme
+    else:
+        others = valid[valid != extreme]
+        runner_up = others.min() if smallest else others.max()
+    out[:] = extreme
+    is_extreme = (values == extreme) & ~nulls
+    if multiplicity == 1:
+        out[is_extreme] = runner_up
+    return out
+
+
+_REGISTRY: dict[str, Aggregate] = {
+    agg.name: agg
+    for agg in (Count(), Sum(), Avg(), Var(), Stddev(), Min(), Max())
+}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Look up an aggregate implementation by SQL name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise AggregateError(
+            f"unknown aggregate {name!r}; supported: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def is_aggregate_name(name: str) -> bool:
+    """Whether ``name`` is a recognized aggregate function name."""
+    return name.lower() in _REGISTRY

@@ -1,0 +1,99 @@
+"""The database catalog: named tables plus the SQL entry point."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import UnknownTableError
+from .executor import execute_plan
+from .planner import plan_select
+from .result import ResultSet
+from .schema import Schema
+from .sqlparse.ast_nodes import SelectStatement
+from .sqlparse.parser import parse_select
+from .table import Table
+from .types import ColumnType
+
+
+class Database:
+    """A collection of named tables with a ``sql()`` query entry point.
+
+    This stands in for the PostgreSQL instance of the original demo (see
+    DESIGN.md substitutions): it executes the aggregate GROUP BY dialect
+    with fine-grained provenance capture, which is all DBWipes requires
+    of its backing store.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    # -- table management ------------------------------------------------
+
+    def register(self, table: Table, name: str | None = None) -> Table:
+        """Register a table under ``name`` (defaults to ``table.name``)."""
+        name = name or table.name
+        if not name:
+            raise UnknownTableError("table must have a name to be registered")
+        stored = table.rename(name)
+        self._tables[name] = stored
+        return stored
+
+    def create_table(
+        self,
+        name: str,
+        data: Mapping[str, Sequence[Any]],
+        types: Mapping[str, ColumnType | str] | None = None,
+    ) -> Table:
+        """Create and register a table from ``{column: values}`` data."""
+        table = Table.from_columns(data, types=types, name=name)
+        return self.register(table)
+
+    def create_from_rows(
+        self, name: str, schema: Schema, rows: Iterable[Sequence[Any]]
+    ) -> Table:
+        """Create and register a table from row tuples."""
+        table = Table.from_rows(schema, rows, name=name)
+        return self.register(table)
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            available = ", ".join(sorted(self._tables)) or "<none>"
+            raise UnknownTableError(
+                f"unknown table {name!r} (available: {available})"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        self.table(name)
+        del self._tables[name]
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all registered tables, sorted."""
+        return tuple(sorted(self._tables))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- querying ----------------------------------------------------------
+
+    def sql(self, query: str | SelectStatement) -> ResultSet:
+        """Parse (if needed), plan, and execute a SELECT statement."""
+        if isinstance(query, str):
+            statement = parse_select(query)
+        else:
+            statement = query
+        table = self.table(statement.table)
+        plan = plan_select(statement, table.schema)
+        return execute_plan(plan, table)
+
+    execute = sql
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{len(table)}]" for name, table in sorted(self._tables.items())
+        )
+        return f"Database({parts})"

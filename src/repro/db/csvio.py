@@ -1,0 +1,107 @@
+"""CSV import/export for tables.
+
+The demo imports the FEC dump and the Intel Lab trace from flat files;
+this module provides the equivalent ingest path for our synthetic (or any
+user-supplied) CSVs, with light type inference: ``int`` then ``float``
+then ``str``, empty cells becoming NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from ..errors import SchemaError
+from .table import Table
+from .types import ColumnType
+
+
+def read_csv(
+    path: str | Path,
+    types: Mapping[str, ColumnType | str] | None = None,
+    name: str | None = None,
+) -> Table:
+    """Load a CSV with a header row into a :class:`Table`.
+
+    ``types`` overrides inference per column. Empty cells become NULL
+    (valid only for FLOAT and STR columns).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; a header row is required") from None
+        raw_rows = [row for row in reader if row]
+    if types is None:
+        types = {}
+    resolved: dict[str, ColumnType] = {}
+    for column, ctype in types.items():
+        resolved[column] = ColumnType(ctype) if isinstance(ctype, str) else ctype
+    columns: dict[str, list] = {column: [] for column in header}
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"row has {len(row)} cells, header has {len(header)}: {row!r}"
+            )
+        for column, cell in zip(header, row):
+            columns[column].append(cell)
+    data = {}
+    final_types = {}
+    for column in header:
+        ctype = resolved.get(column) or _infer_csv_type(columns[column])
+        data[column] = [_parse_cell(cell, ctype) for cell in columns[column]]
+        final_types[column] = ctype
+    return Table.from_columns(data, types=final_types, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row (NULL becomes an empty cell)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table.iter_rows():
+            writer.writerow(["" if value is None else value for value in row])
+
+
+def _infer_csv_type(cells: list[str]) -> ColumnType:
+    saw_value = False
+    could_be_int = True
+    could_be_float = True
+    for cell in cells:
+        if cell == "":
+            could_be_int = False  # NULL needs FLOAT or STR storage
+            continue
+        saw_value = True
+        if could_be_int:
+            try:
+                int(cell)
+            except ValueError:
+                could_be_int = False
+        if could_be_float and not could_be_int:
+            try:
+                float(cell)
+            except ValueError:
+                could_be_float = False
+    if not saw_value:
+        return ColumnType.STR
+    if could_be_int:
+        return ColumnType.INT
+    if could_be_float:
+        return ColumnType.FLOAT
+    return ColumnType.STR
+
+
+def _parse_cell(cell: str, ctype: ColumnType):
+    if cell == "":
+        return None
+    if ctype is ColumnType.INT:
+        return int(cell)
+    if ctype is ColumnType.FLOAT:
+        return float(cell)
+    if ctype is ColumnType.BOOL:
+        return cell.strip().lower() in ("true", "t", "1", "yes")
+    return cell

@@ -1,0 +1,259 @@
+"""Query execution with fine-grained provenance capture.
+
+The executor runs a :class:`~repro.db.planner.LogicalPlan` against a
+table and produces a :class:`~repro.db.result.ResultSet`. Provenance is
+captured *during* grouping — every output row records the tids of the
+input tuples in its group — so ranked provenance never has to re-derive
+lineage afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import PlanError
+from .planner import LogicalPlan
+from .provenance import CoarseProvenance, FineProvenance, OpNode
+from .result import ResultSet
+from .schema import Column, Schema
+from .sqlparse.ast_nodes import SelectStatement, Star
+from .table import Table
+from .types import ColumnType
+
+
+def execute_plan(plan: LogicalPlan, table: Table) -> ResultSet:
+    """Execute a validated plan against its table."""
+    statement = plan.statement
+    ops = [OpNode("scan", plan.table_name)]
+    base = table
+    if statement.where is not None:
+        mask = statement.where.eval(base)
+        base = base.filter(mask)
+        ops.append(OpNode("filter", statement.where.to_sql()))
+    if plan.is_aggregate_query:
+        output, lineage, key_names, agg_names = _execute_aggregate(plan, base, ops)
+    else:
+        output, lineage, key_names, agg_names = _execute_projection(plan, base, ops)
+    fine = FineProvenance(base, lineage)
+
+    if statement.having is not None:
+        having_mask = statement.having.eval(output)
+        positions = np.flatnonzero(having_mask)
+        output = output.take(positions)
+        fine = fine.reorder(list(positions))
+        ops.append(OpNode("having", statement.having.to_sql()))
+
+    if statement.order_by:
+        positions = _order_positions(statement, output)
+        output = output.take(positions)
+        fine = fine.reorder(list(positions))
+        ops.append(OpNode("order", ", ".join(o.to_sql() for o in statement.order_by)))
+
+    if statement.limit is not None:
+        keep = min(statement.limit, len(output))
+        positions = np.arange(keep, dtype=np.int64)
+        output = output.take(positions)
+        fine = fine.reorder(list(positions))
+        ops.append(OpNode("limit", str(statement.limit)))
+
+    # Result rows are addressed by position; normalize output tids to 0..n-1.
+    output = Table(
+        output.schema,
+        {name: output.column(name) for name in output.schema.names},
+        tids=np.arange(len(output), dtype=np.int64),
+        name="result",
+    )
+    return ResultSet(
+        output=output,
+        statement=statement,
+        fine=fine,
+        coarse=CoarseProvenance(tuple(ops)),
+        group_key_names=key_names,
+        aggregate_names=agg_names,
+    )
+
+
+def _execute_aggregate(
+    plan: LogicalPlan, base: Table, ops: list[OpNode]
+) -> tuple[Table, list[np.ndarray], tuple[str, ...], tuple[str, ...]]:
+    key_arrays = [spec.expr.eval(base) for spec in plan.keys]
+    if key_arrays:
+        codes, group_order = _group_codes(key_arrays)
+        n_groups = len(group_order)
+        ops.append(
+            OpNode("groupby", ", ".join(spec.expr.to_sql() for spec in plan.keys))
+        )
+    else:
+        codes = np.zeros(len(base), dtype=np.int64)
+        group_order = [np.arange(len(base), dtype=np.int64)] if len(base) else [
+            np.empty(0, dtype=np.int64)
+        ]
+        n_groups = 1
+
+    lineage: list[np.ndarray] = []
+    base_tids = np.asarray(base.tids)
+    for group_positions in group_order:
+        lineage.append(base_tids[group_positions])
+
+    out_columns: dict[str, np.ndarray] = {}
+    out_schema_cols: list[Column] = []
+
+    key_first_positions = np.array(
+        [positions[0] if len(positions) else -1 for positions in group_order],
+        dtype=np.int64,
+    )
+    for spec_index, spec in enumerate(plan.keys):
+        array = key_arrays[spec_index]
+        if n_groups == 1 and len(base) == 0:
+            column = np.empty(0, dtype=array.dtype)
+            lineage = [np.empty(0, dtype=np.int64)]
+        else:
+            column = array[key_first_positions]
+        out_columns[spec.output_name] = _coerce_output(column, spec.ctype)
+        out_schema_cols.append(Column(spec.output_name, spec.ctype))
+
+    for spec in plan.aggs:
+        values = _agg_input(spec, base)
+        agg_out = np.empty(n_groups, dtype=np.float64)
+        for group_index, group_positions in enumerate(group_order):
+            group_values = values[group_positions]
+            agg_out[group_index] = spec.impl.compute(group_values)
+        ctype = ColumnType.INT if spec.impl.name == "count" else ColumnType.FLOAT
+        if ctype is ColumnType.INT:
+            out_columns[spec.output_name] = agg_out.astype(np.int64)
+        else:
+            out_columns[spec.output_name] = agg_out
+        out_schema_cols.append(Column(spec.output_name, ctype))
+        ops.append(OpNode("aggregate", spec.call.to_sql()))
+
+    # Reorder output columns to SELECT order.
+    ordered_cols: list[Column] = []
+    seen: set[str] = set()
+    for kind, index in plan.output_order:
+        name = plan.keys[index].output_name if kind == "key" else plan.aggs[index].output_name
+        if name in seen:
+            continue
+        seen.add(name)
+        ordered_cols.append(next(c for c in out_schema_cols if c.name == name))
+    for column in out_schema_cols:
+        if column.name not in seen:
+            seen.add(column.name)
+            ordered_cols.append(column)
+    output = Table(Schema(ordered_cols), out_columns, name="result")
+    key_names = tuple(spec.output_name for spec in plan.keys)
+    agg_names = tuple(spec.output_name for spec in plan.aggs)
+    return output, lineage, key_names, agg_names
+
+
+def _execute_projection(
+    plan: LogicalPlan, base: Table, ops: list[OpNode]
+) -> tuple[Table, list[np.ndarray], tuple[str, ...], tuple[str, ...]]:
+    out_columns: dict[str, np.ndarray] = {}
+    out_schema_cols: list[Column] = []
+    for spec in plan.keys:
+        array = spec.expr.eval(base)
+        out_columns[spec.output_name] = _coerce_output(array, spec.ctype)
+        out_schema_cols.append(Column(spec.output_name, spec.ctype))
+    ops.append(OpNode("project", ", ".join(spec.output_name for spec in plan.keys)))
+    output = Table(Schema(out_schema_cols), out_columns, name="result")
+    base_tids = np.asarray(base.tids)
+    lineage = [np.array([tid], dtype=np.int64) for tid in base_tids]
+    key_names = tuple(spec.output_name for spec in plan.keys)
+    return output, lineage, key_names, ()
+
+
+def _agg_input(spec: Any, base: Table) -> np.ndarray:
+    """The numeric argument array for one aggregate over the base table."""
+    if isinstance(spec.call.arg, Star):
+        return np.ones(len(base), dtype=np.float64)
+    values = spec.call.arg.eval(base)
+    if values.dtype == object:
+        # count() over a categorical column: count non-nulls.
+        if spec.impl.name == "count":
+            return np.fromiter(
+                (np.nan if v is None else 1.0 for v in values),
+                dtype=np.float64,
+                count=len(values),
+            )
+        raise PlanError(f"{spec.impl.name}() requires a numeric argument")
+    return np.asarray(values, dtype=np.float64)
+
+
+def _group_codes(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Combine several key arrays into group codes and per-group positions.
+
+    Groups are ordered by ascending key tuples (the order ``np.unique``
+    produces per key column, combined left-to-right), matching the stable
+    ordering the dashboard relies on for the x-axis.
+    """
+    code_arrays = []
+    cardinalities = []
+    for array in key_arrays:
+        if array.dtype == object:
+            # np.unique on object arrays fails on None; map via dict.
+            uniques = sorted({v for v in array if v is not None}, key=repr)
+            mapping = {value: i for i, value in enumerate(uniques)}
+            codes = np.fromiter(
+                (mapping.get(v, len(uniques)) for v in array),
+                dtype=np.int64,
+                count=len(array),
+            )
+            cardinality = len(uniques) + 1
+        else:
+            uniques, codes = np.unique(array, return_inverse=True)
+            codes = codes.astype(np.int64)
+            cardinality = len(uniques)
+        code_arrays.append(codes)
+        cardinalities.append(max(cardinality, 1))
+    combined = np.zeros(len(code_arrays[0]), dtype=np.int64)
+    for codes, cardinality in zip(code_arrays, cardinalities):
+        combined = combined * cardinality + codes
+    unique_codes, inverse = np.unique(combined, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.searchsorted(inverse[order], np.arange(len(unique_codes) + 1))
+    group_positions = [
+        order[boundaries[i]: boundaries[i + 1]] for i in range(len(unique_codes))
+    ]
+    return inverse, group_positions
+
+
+def _order_positions(statement: SelectStatement, output: Table) -> np.ndarray:
+    positions = np.arange(len(output), dtype=np.int64)
+    # Apply keys right-to-left with stable sorts for lexicographic order.
+    # Descending order is achieved by negating the sort key (never by
+    # reversing a stable sort, which would also reverse ties).
+    for item in reversed(statement.order_by):
+        values = item.expr.eval(output)
+        if values.dtype == object:
+            order = sorted(
+                range(len(values)),
+                key=lambda i: (values[i] is None, values[i] or ""),
+                reverse=item.descending,
+            )
+            order = np.array(order, dtype=np.int64)
+        elif item.descending:
+            order = np.argsort(
+                -np.asarray(values, dtype=np.float64), kind="stable"
+            )
+        else:
+            order = np.argsort(values, kind="stable")
+        positions = positions[order]
+        output = output.take(order)
+    return positions
+
+
+def _coerce_output(array: np.ndarray, ctype: ColumnType) -> np.ndarray:
+    expected = ctype.numpy_dtype
+    if array.dtype == expected:
+        return array
+    if ctype is ColumnType.FLOAT:
+        return np.asarray(array, dtype=np.float64)
+    if ctype is ColumnType.INT:
+        return np.asarray(array, dtype=np.int64)
+    if ctype is ColumnType.BOOL:
+        return np.asarray(array, dtype=np.bool_)
+    out = np.empty(len(array), dtype=object)
+    out[:] = array
+    return out

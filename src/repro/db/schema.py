@@ -1,0 +1,114 @@
+"""Table schemas: ordered, named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError, UnknownColumnError
+from .types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.name[0].isdigit():
+            raise SchemaError(f"column name cannot start with a digit: {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ctype.value.upper()}"
+
+
+class Schema:
+    """An ordered collection of uniquely named :class:`Column` objects."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns: tuple[Column, ...] = tuple(columns)
+        names = [column.name for column in self._columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        self._by_name = {column.name: column for column in self._columns}
+
+    @classmethod
+    def of(cls, **name_to_type: ColumnType | str) -> "Schema":
+        """Build a schema from keyword arguments, e.g. ``Schema.of(a=ColumnType.INT)``.
+
+        String values are accepted as shorthand: ``Schema.of(a="int", b="str")``.
+        """
+        columns = []
+        for name, ctype in name_to_type.items():
+            if isinstance(ctype, str):
+                ctype = ColumnType(ctype)
+            columns.append(Column(name, ctype))
+        return cls(columns)
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """The columns in declaration order."""
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising :class:`UnknownColumnError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.names) from None
+
+    def type_of(self, name: str) -> ColumnType:
+        """The :class:`ColumnType` of the named column."""
+        return self.column(name).ctype
+
+    def index_of(self, name: str) -> int:
+        """The positional index of the named column."""
+        self.column(name)
+        return self.names.index(name)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def extend(self, columns: Iterable[Column]) -> "Schema":
+        """A new schema with ``columns`` appended."""
+        return Schema(list(self._columns) + list(columns))
+
+    def numeric_names(self) -> tuple[str, ...]:
+        """Names of all INT/FLOAT columns."""
+        return tuple(c.name for c in self._columns if c.ctype.is_numeric)
+
+    def categorical_names(self) -> tuple[str, ...]:
+        """Names of all STR/BOOL columns."""
+        return tuple(c.name for c in self._columns if not c.ctype.is_numeric)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(column) for column in self._columns)
+        return f"Schema({inner})"

@@ -1,0 +1,23 @@
+"""SQL dialect for the DBWipes reproduction.
+
+Supports the aggregate GROUP BY SELECTs the paper's interface issues,
+including expression group keys (e.g. ``GROUP BY time / 30`` for
+30-minute windows), WHERE with the full boolean algebra, HAVING over
+output columns, ORDER BY, and LIMIT.
+"""
+
+from .ast_nodes import AggregateCall, OrderItem, SelectItem, SelectStatement, Star
+from .parser import parse_select
+from .tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "AggregateCall",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "Token",
+    "TokenType",
+    "parse_select",
+    "tokenize",
+]

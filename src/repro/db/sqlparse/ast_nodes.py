@@ -1,0 +1,158 @@
+"""AST dataclasses for parsed SELECT statements.
+
+These nodes sit above the scalar expression layer (:mod:`repro.db.expr`):
+a :class:`SelectStatement` holds scalar ``Expr`` trees for select items,
+WHERE, and GROUP BY keys, plus :class:`AggregateCall` wrappers for the
+aggregate functions the paper supports. Every node renders back to SQL so
+the frontend can rewrite queries when predicates are clicked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+from ..expr import And, Expr, Not, conjoin
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` argument of ``count(*)``."""
+
+    def to_sql(self) -> str:
+        """Render as SQL."""
+        return "*"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate function applied to a scalar expression (or ``*``)."""
+
+    func: str
+    arg: Union[Expr, Star]
+
+    def to_sql(self) -> str:
+        """Render as SQL, e.g. ``avg(temp)``."""
+        return f"{self.func}({self.arg.to_sql()})"
+
+    def default_alias(self) -> str:
+        """The output column name used when the query gives no alias."""
+        if isinstance(self.arg, Star):
+            return self.func
+        inner = self.arg.to_sql().strip("()").replace(" ", "")
+        safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in inner)
+        return f"{self.func}_{safe}"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list: an expression or aggregate, plus alias."""
+
+    value: Union[Expr, AggregateCall]
+    alias: str | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this item is an aggregate call."""
+        return isinstance(self.value, AggregateCall)
+
+    def output_name(self) -> str:
+        """The column name this item produces in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.value, AggregateCall):
+            return self.value.default_alias()
+        sql = self.value.to_sql()
+        if sql.isidentifier():
+            return sql
+        safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in sql)
+        return safe.strip("_") or "expr"
+
+    def to_sql(self) -> str:
+        """Render as SQL, including the alias when present."""
+        base = self.value.to_sql()
+        if self.alias:
+            return f"{base} AS {self.alias}"
+        return base
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an output column name or expression, plus direction."""
+
+    expr: Expr
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        """Render as SQL."""
+        direction = " DESC" if self.descending else ""
+        return f"{self.expr.to_sql()}{direction}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING] [ORDER BY] [LIMIT]."""
+
+    items: tuple[SelectItem, ...]
+    table: str
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = field(default_factory=tuple)
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: int | None = None
+
+    def to_sql(self) -> str:
+        """Render the full statement back to SQL text."""
+        parts = ["SELECT " + ", ".join(item.to_sql() for item in self.items)]
+        parts.append(f"FROM {self.table}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(expr.to_sql() for expr in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(item.to_sql() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def with_extra_filter(self, condition: Expr) -> "SelectStatement":
+        """A new statement whose WHERE clause additionally requires ``condition``.
+
+        This is the *clean-as-you-query* rewrite: clicking a predicate in
+        the dashboard conjoins ``NOT (predicate)`` onto the query.
+        """
+        if self.where is None:
+            new_where = condition
+        else:
+            new_where = conjoin([self.where, condition])
+        return replace(self, where=new_where)
+
+    def without_filter(self, condition: Expr) -> "SelectStatement":
+        """Undo :meth:`with_extra_filter` for exactly ``condition``.
+
+        Removes one matching conjunct from the WHERE clause; raises
+        ``ValueError`` if the conjunct is not present.
+        """
+        if self.where == condition:
+            return replace(self, where=None)
+        if isinstance(self.where, And):
+            operands = list(self.where.operands)
+            if condition in operands:
+                operands.remove(condition)
+                return replace(self, where=conjoin(operands))
+        raise ValueError("condition is not a conjunct of the WHERE clause")
+
+    @property
+    def aggregates(self) -> tuple[AggregateCall, ...]:
+        """All aggregate calls in the SELECT list, in order."""
+        return tuple(item.value for item in self.items if isinstance(item.value, AggregateCall))
+
+    @property
+    def cleaning_filters(self) -> tuple[Expr, ...]:
+        """The NOT(...) conjuncts currently in WHERE (applied cleanings)."""
+        if self.where is None:
+            return ()
+        conjuncts = self.where.operands if isinstance(self.where, And) else (self.where,)
+        return tuple(c for c in conjuncts if isinstance(c, Not))

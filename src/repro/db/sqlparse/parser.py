@@ -1,0 +1,345 @@
+"""Recursive-descent parser for the SELECT dialect.
+
+Grammar (informal)::
+
+    select    := SELECT item (, item)* FROM ident
+                 [WHERE bool] [GROUP BY expr (, expr)*] [HAVING bool]
+                 [ORDER BY order (, order)*] [LIMIT int]
+    item      := (agg_call | expr) [[AS] ident]
+    agg_call  := AGGNAME ( expr | * )
+    bool      := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+    additive  := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary     := - unary | primary
+    primary   := number | string | TRUE | FALSE | NULL
+               | func ( args ) | ident | ( bool )
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import SQLSyntaxError
+from ..aggregates import is_aggregate_name
+from ..expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from .ast_nodes import AggregateCall, OrderItem, SelectItem, SelectStatement, Star
+from .tokens import Token, TokenType, tokenize
+
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "AS",
+    "ASC", "DESC", "TRUE", "FALSE",
+}
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse SQL text into a :class:`SelectStatement`.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` with the offending
+    position on malformed input.
+    """
+    return _Parser(sql).parse()
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.ttype is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._peek()
+        return SQLSyntaxError(message, position=token.position, text=self._sql)
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(keyword):
+            raise self._error(f"expected {keyword}, found {token.text!r}")
+        return self._advance()
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._peek().is_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, ttype: TokenType) -> Token:
+        token = self._peek()
+        if token.ttype is not ttype:
+            raise self._error(f"expected {ttype.value}, found {token.text!r}")
+        return self._advance()
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self._peek().ttype is TokenType.COMMA:
+            self._advance()
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        table_token = self._expect(TokenType.IDENT)
+        if table_token.text.upper() in _RESERVED:
+            raise self._error(f"expected table name, found keyword {table_token.text!r}")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._bool_expr()
+        group_by: list[Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._additive())
+            while self._peek().ttype is TokenType.COMMA:
+                self._advance()
+                group_by.append(self._additive())
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._bool_expr()
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._peek().ttype is TokenType.COMMA:
+                self._advance()
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            if not isinstance(token.value, int) or token.value < 0:
+                raise self._error("LIMIT requires a non-negative integer")
+            limit = token.value
+        if self._peek().ttype is not TokenType.EOF:
+            raise self._error(f"unexpected trailing input {self._peek().text!r}")
+        return SelectStatement(
+            items=tuple(items),
+            table=table_token.text,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _select_item(self) -> SelectItem:
+        value: Expr | AggregateCall
+        token = self._peek()
+        if (
+            token.ttype is TokenType.IDENT
+            and is_aggregate_name(token.text)
+            and self._peek(1).ttype is TokenType.LPAREN
+        ):
+            value = self._aggregate_call()
+        else:
+            value = self._additive()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias_token = self._expect(TokenType.IDENT)
+            alias = alias_token.text
+        elif (
+            self._peek().ttype is TokenType.IDENT
+            and self._peek().text.upper() not in _RESERVED
+        ):
+            alias = self._advance().text
+        return SelectItem(value=value, alias=alias)
+
+    def _aggregate_call(self) -> AggregateCall:
+        func_token = self._advance()
+        self._expect(TokenType.LPAREN)
+        arg: Expr | Star
+        if self._peek().ttype is TokenType.STAR:
+            self._advance()
+            arg = Star()
+        else:
+            arg = self._additive()
+        self._expect(TokenType.RPAREN)
+        return AggregateCall(func=func_token.text.lower(), arg=arg)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._additive()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _bool_expr(self) -> Expr:
+        operands = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def _and_expr(self) -> Expr:
+        operands = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands)
+
+    def _not_expr(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.ttype is TokenType.OPERATOR and token.text in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            self._advance()
+            right = self._additive()
+            return Comparison(token.text, left, right)
+        negated = False
+        if token.is_keyword("NOT") and self._peek(1).is_keyword("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            values = [self._literal_value()]
+            while self._peek().ttype is TokenType.COMMA:
+                self._advance()
+                values.append(self._literal_value())
+            self._expect(TokenType.RPAREN)
+            return InList(left, values, negated=negated)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return Between(left, low, high, negated=negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern_token = self._expect(TokenType.STRING)
+            return Like(left, pattern_token.value, negated=negated)
+        if token.is_keyword("IS"):
+            self._advance()
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def _literal_value(self) -> Any:
+        token = self._peek()
+        if token.ttype is TokenType.NUMBER:
+            self._advance()
+            return token.value
+        if token.ttype is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return False
+        if token.ttype is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            number = self._expect(TokenType.NUMBER)
+            return -number.value
+        raise self._error("expected a literal value")
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.ttype is TokenType.OPERATOR and token.text in ("+", "-"):
+                self._advance()
+                right = self._multiplicative()
+                left = Arithmetic(token.text, left, right)
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.ttype is TokenType.STAR:
+                self._advance()
+                left = Arithmetic("*", left, self._unary())
+            elif token.ttype is TokenType.OPERATOR and token.text in ("/", "%"):
+                self._advance()
+                left = Arithmetic(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.ttype is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            return Negate(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.ttype is TokenType.NUMBER:
+            self._advance()
+            return Literal(token.value)
+        if token.ttype is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.ttype is TokenType.LPAREN:
+            self._advance()
+            inner = self._bool_expr()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.ttype is TokenType.IDENT:
+            if token.text.upper() in _RESERVED:
+                raise self._error(f"unexpected keyword {token.text!r}")
+            if self._peek(1).ttype is TokenType.LPAREN:
+                name_token = self._advance()
+                self._advance()  # (
+                args = []
+                if self._peek().ttype is not TokenType.RPAREN:
+                    args.append(self._additive())
+                    while self._peek().ttype is TokenType.COMMA:
+                        self._advance()
+                        args.append(self._additive())
+                self._expect(TokenType.RPAREN)
+                return FuncCall(name_token.text, args)
+            self._advance()
+            return ColumnRef(token.text)
+        raise self._error(f"unexpected token {token.text!r}")

@@ -1,0 +1,155 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ...errors import SQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    STAR = "star"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    ttype: TokenType
+    text: str
+    value: Any
+    position: int
+
+    def is_keyword(self, *keywords: str) -> bool:
+        """Whether this is an identifier matching any keyword (case-insensitive)."""
+        if self.ttype is not TokenType.IDENT:
+            return False
+        upper = self.text.upper()
+        return any(upper == keyword.upper() for keyword in keywords)
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "/", "%")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text into a list ending with an EOF token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if char == "(":
+            yield Token(TokenType.LPAREN, "(", "(", i)
+            i += 1
+            continue
+        if char == ")":
+            yield Token(TokenType.RPAREN, ")", ")", i)
+            i += 1
+            continue
+        if char == ",":
+            yield Token(TokenType.COMMA, ",", ",", i)
+            i += 1
+            continue
+        if char == "*":
+            yield Token(TokenType.STAR, "*", "*", i)
+            i += 1
+            continue
+        if char == "'":
+            literal, end = _read_string(text, i)
+            yield Token(TokenType.STRING, text[i:end], literal, i)
+            i = end
+            continue
+        if char.isdigit() or (char == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, end = _read_number(text, i)
+            yield Token(TokenType.NUMBER, text[i:end], value, i)
+            i = end
+            continue
+        if char.isalpha() or char == "_":
+            end = i + 1
+            while end < n and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[i:end]
+            yield Token(TokenType.IDENT, word, word, i)
+            i = end
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r}", position=i, text=text)
+    yield Token(TokenType.EOF, "", None, n)
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with ``''`` escaping; returns (value, end)."""
+    i = start + 1
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        char = text[i]
+        if char == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start, text=text)
+
+
+def _read_number(text: str, start: int) -> tuple[int | float, int]:
+    """Read an integer or float literal; returns (value, end)."""
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        char = text[i]
+        if char.isdigit():
+            i += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif char in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    raw = text[start:i]
+    try:
+        if seen_dot or seen_exp:
+            return float(raw), i
+        return int(raw), i
+    except ValueError:
+        raise SQLSyntaxError(f"bad number literal {raw!r}", position=start, text=text) from None

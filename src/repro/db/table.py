@@ -1,0 +1,335 @@
+"""Column-store table with stable tuple identifiers.
+
+Every row of a :class:`Table` carries an immutable tuple id (*tid*). All
+higher layers — provenance, influence ranking, predicate evaluation, brush
+selection, ground-truth labels — identify rows by tid, so filtering and
+projection never invalidate references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError, TypeMismatchError
+from .schema import Column, Schema
+from .types import ColumnType, coerce_array, infer_type, python_value
+
+
+class Table:
+    """An immutable, column-oriented table.
+
+    Columns are numpy arrays keyed by name; ``tids`` is a parallel int64
+    array of stable row identifiers. All transformation methods return new
+    ``Table`` objects that share column arrays when possible (copy-on-write
+    style), so filters and projections are cheap.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        tids: np.ndarray | None = None,
+        name: str = "",
+    ):
+        self._schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column in schema:
+            try:
+                array = columns[column.name]
+            except KeyError:
+                raise SchemaError(f"missing data for column {column.name!r}") from None
+            array = np.asarray(array)
+            expected = column.ctype.numpy_dtype
+            if array.dtype != expected:
+                raise TypeMismatchError(
+                    f"column {column.name!r} has dtype {array.dtype}, expected {expected}"
+                )
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise SchemaError(
+                    f"column {column.name!r} has {len(array)} rows, expected {length}"
+                )
+            self._columns[column.name] = array
+        if length is None:
+            length = 0
+        if tids is None:
+            tids = np.arange(length, dtype=np.int64)
+        else:
+            tids = np.asarray(tids, dtype=np.int64)
+            if len(tids) != length:
+                raise SchemaError(f"{len(tids)} tids for {length} rows")
+        self._tids = tids
+        self._length = length
+        self.name = name
+        self._tid_index: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+        name: str = "",
+    ) -> "Table":
+        """Build a table from an iterable of row tuples matching ``schema``."""
+        rows = list(rows)
+        columns = {}
+        for index, column in enumerate(schema):
+            values = [row[index] for row in rows]
+            columns[column.name] = coerce_array(values, column.ctype)
+        return cls(schema, columns, name=name)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        schema: Schema | None = None,
+        name: str = "",
+    ) -> "Table":
+        """Build a table from dict rows, inferring the schema if not given."""
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise SchemaError("cannot infer a schema from zero rows")
+            names = list(rows[0].keys())
+            columns_spec = []
+            for column_name in names:
+                ctype = infer_type(row.get(column_name) for row in rows)
+                columns_spec.append(Column(column_name, ctype))
+            schema = Schema(columns_spec)
+        columns = {}
+        for column in schema:
+            values = [row.get(column.name) for row in rows]
+            columns[column.name] = coerce_array(values, column.ctype)
+        return cls(schema, columns, name=name)
+
+    @classmethod
+    def from_columns(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        types: Mapping[str, ColumnType | str] | None = None,
+        name: str = "",
+    ) -> "Table":
+        """Build a table from ``{name: values}`` with optional explicit types."""
+        columns_spec = []
+        arrays = {}
+        for column_name, values in data.items():
+            if types and column_name in types:
+                ctype = types[column_name]
+                if isinstance(ctype, str):
+                    ctype = ColumnType(ctype)
+            else:
+                ctype = infer_type(values)
+            columns_spec.append(Column(column_name, ctype))
+            arrays[column_name] = coerce_array(values, ctype)
+        return cls(Schema(columns_spec), arrays, name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema."""
+        return self._schema
+
+    @property
+    def tids(self) -> np.ndarray:
+        """Stable tuple ids, parallel to the column arrays (read-only view)."""
+        view = self._tids.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    def column(self, name: str) -> np.ndarray:
+        """The storage array for a column (read-only view)."""
+        self._schema.column(name)
+        view = self._columns[name].view()
+        view.flags.writeable = False
+        return view
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        """Row ``index`` as a tuple of Python values."""
+        return tuple(
+            python_value(self._columns[name][index]) for name in self._schema.names
+        )
+
+    def row_dict(self, index: int) -> dict[str, Any]:
+        """Row ``index`` as a ``{column: value}`` dict."""
+        return dict(zip(self._schema.names, self.row(index)))
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over rows as tuples."""
+        for index in range(self._length):
+            yield self.row(index)
+
+    def iter_dicts(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dicts."""
+        for index in range(self._length):
+            yield self.row_dict(index)
+
+    # ------------------------------------------------------------------
+    # tid addressing
+    # ------------------------------------------------------------------
+
+    def _ensure_tid_index(self) -> dict[int, int]:
+        if self._tid_index is None:
+            self._tid_index = {int(tid): i for i, tid in enumerate(self._tids)}
+        return self._tid_index
+
+    def position_of(self, tid: int) -> int:
+        """The row position holding tuple id ``tid``.
+
+        Raises ``KeyError`` if the tid is not present in this table view.
+        """
+        return self._ensure_tid_index()[int(tid)]
+
+    def positions_of(self, tids: Iterable[int]) -> np.ndarray:
+        """Row positions for an iterable of tids, in the given order."""
+        index = self._ensure_tid_index()
+        return np.array([index[int(tid)] for tid in tids], dtype=np.int64)
+
+    def contains_tid(self, tid: int) -> bool:
+        """Whether ``tid`` is present in this table view."""
+        return int(tid) in self._ensure_tid_index()
+
+    def take_tids(self, tids: Iterable[int]) -> "Table":
+        """A new table holding exactly the rows with the given tids, in order."""
+        return self.take(self.positions_of(tids))
+
+    # ------------------------------------------------------------------
+    # transformations (all return new tables, preserving tids)
+    # ------------------------------------------------------------------
+
+    def take(self, positions: np.ndarray | Sequence[int]) -> "Table":
+        """Rows at the given positions, preserving their tids."""
+        positions = np.asarray(positions, dtype=np.int64)
+        columns = {name: array[positions] for name, array in self._columns.items()}
+        return Table(self._schema, columns, tids=self._tids[positions], name=self.name)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where the boolean ``mask`` is True, preserving tids."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise SchemaError(f"mask length {len(mask)} != table length {self._length}")
+        columns = {name: array[mask] for name, array in self._columns.items()}
+        return Table(self._schema, columns, tids=self._tids[mask], name=self.name)
+
+    def exclude_tids(self, tids: Iterable[int]) -> "Table":
+        """Rows whose tid is *not* in the given collection."""
+        drop = set(int(t) for t in tids)
+        mask = np.fromiter(
+            (int(t) not in drop for t in self._tids), dtype=bool, count=self._length
+        )
+        return self.filter(mask)
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Only the named columns, preserving row order and tids."""
+        schema = self._schema.project(names)
+        columns = {name: self._columns[name] for name in names}
+        return Table(schema, columns, tids=self._tids, name=self.name)
+
+    def with_column(self, column: Column, values: np.ndarray | Sequence[Any]) -> "Table":
+        """A new table with an extra column appended."""
+        array = np.asarray(values)
+        if array.dtype != column.ctype.numpy_dtype:
+            array = coerce_array(list(values), column.ctype)
+        schema = self._schema.extend([column])
+        columns = dict(self._columns)
+        columns[column.name] = array
+        return Table(schema, columns, tids=self._tids, name=self.name)
+
+    def rename(self, name: str) -> "Table":
+        """The same table under a different name."""
+        return Table(self._schema, self._columns, tids=self._tids, name=name)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of ``self`` followed by rows of ``other`` (schemas must match).
+
+        Tids are preserved; callers are responsible for keeping them unique.
+        """
+        if self._schema != other._schema:
+            raise SchemaError("cannot concat tables with different schemas")
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._schema.names
+        }
+        tids = np.concatenate([self._tids, other._tids])
+        return Table(self._schema, columns, tids=tids, name=self.name)
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        """Rows sorted by one column (stable sort), preserving tids."""
+        array = self._columns[self._schema.column(name).name]
+        order = np.argsort(array, kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def head(self, n: int = 10) -> "Table":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, self._length), dtype=np.int64))
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A plain-text rendering of the table (for terminals and docs)."""
+        names = ("tid",) + self._schema.names
+        shown = min(max_rows, self._length)
+        rows = []
+        for index in range(shown):
+            row = (str(int(self._tids[index])),) + tuple(
+                _format_cell(value) for value in self.row(index)
+            )
+            rows.append(row)
+        widths = [len(name) for name in names]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        rule = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in rows
+        ]
+        footer = []
+        if shown < self._length:
+            footer.append(f"... ({self._length - shown} more rows)")
+        return "\n".join([header, rule, *body, *footer])
+
+    def __repr__(self) -> str:
+        label = self.name or "<anonymous>"
+        return f"Table({label!r}, {self._length} rows, {len(self._schema)} cols)"
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "NULL"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,174 @@
+"""Column types and value coercion for the in-memory column store.
+
+The engine supports four logical types:
+
+* ``INT`` — stored as ``numpy.int64``.
+* ``FLOAT`` — stored as ``numpy.float64`` (``NaN`` encodes NULL).
+* ``STR`` — stored as ``numpy.ndarray`` of ``object`` (``None`` encodes NULL).
+* ``BOOL`` — stored as ``numpy.bool_``.
+
+These four are sufficient for everything the DBWipes paper touches: sensor
+readings, donation amounts, day indexes, categorical attributes such as
+candidate names and memo strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a table column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can participate in arithmetic."""
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store a column of this type."""
+        return _NUMPY_DTYPES[self]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_NUMPY_DTYPES = {
+    ColumnType.INT: np.dtype(np.int64),
+    ColumnType.FLOAT: np.dtype(np.float64),
+    ColumnType.STR: np.dtype(object),
+    ColumnType.BOOL: np.dtype(np.bool_),
+}
+
+
+def infer_type(values: Iterable[Any]) -> ColumnType:
+    """Infer the narrowest :class:`ColumnType` that holds every value.
+
+    ``None`` values are ignored for inference; an all-``None`` column is
+    typed ``STR`` because object storage is the only dtype that can hold
+    pure NULLs.
+    """
+    seen_float = False
+    seen_int = False
+    seen_bool = False
+    seen_str = False
+    seen_any = False
+    for value in values:
+        if value is None:
+            continue
+        seen_any = True
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            seen_bool = True
+        elif isinstance(value, (int, np.integer)):
+            seen_int = True
+        elif isinstance(value, (float, np.floating)):
+            seen_float = True
+        elif isinstance(value, str):
+            seen_str = True
+        else:
+            raise TypeMismatchError(f"cannot infer a column type for value {value!r}")
+    if not seen_any:
+        return ColumnType.STR
+    if seen_str:
+        if seen_int or seen_float or seen_bool:
+            raise TypeMismatchError("column mixes strings with non-string values")
+        return ColumnType.STR
+    if seen_float:
+        return ColumnType.FLOAT
+    if seen_int:
+        return ColumnType.INT
+    return ColumnType.BOOL
+
+
+def coerce_array(values: Iterable[Any], ctype: ColumnType) -> np.ndarray:
+    """Convert an iterable of Python values into the storage array for ``ctype``.
+
+    NULL handling: ``None`` becomes ``NaN`` in FLOAT columns and stays
+    ``None`` in STR columns. ``None`` is rejected for INT and BOOL columns
+    because their numpy dtypes have no missing-value representation.
+    """
+    values = list(values)
+    if ctype is ColumnType.FLOAT:
+        out = np.empty(len(values), dtype=np.float64)
+        for i, value in enumerate(values):
+            if value is None:
+                out[i] = np.nan
+            else:
+                out[i] = _as_float(value)
+        return out
+    if ctype is ColumnType.INT:
+        out = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            if value is None:
+                raise TypeMismatchError("INT columns cannot store NULL; use FLOAT")
+            out[i] = _as_int(value)
+        return out
+    if ctype is ColumnType.BOOL:
+        out = np.empty(len(values), dtype=np.bool_)
+        for i, value in enumerate(values):
+            if value is None:
+                raise TypeMismatchError("BOOL columns cannot store NULL")
+            if not isinstance(value, (bool, np.bool_)):
+                raise TypeMismatchError(f"expected bool, got {value!r}")
+            out[i] = bool(value)
+        return out
+    out = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None:
+            out[i] = None
+        elif isinstance(value, str):
+            out[i] = value
+        else:
+            raise TypeMismatchError(f"expected str or None, got {value!r}")
+    return out
+
+
+def _as_float(value: Any) -> float:
+    if isinstance(value, (bool, np.bool_)):
+        raise TypeMismatchError(f"expected number, got bool {value!r}")
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    raise TypeMismatchError(f"expected number, got {value!r}")
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, (bool, np.bool_)):
+        raise TypeMismatchError(f"expected integer, got bool {value!r}")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)) and float(value).is_integer():
+        return int(value)
+    raise TypeMismatchError(f"expected integer, got {value!r}")
+
+
+def is_null(value: Any) -> bool:
+    """Whether a scalar read out of a column represents NULL."""
+    if value is None:
+        return True
+    if isinstance(value, (float, np.floating)) and np.isnan(value):
+        return True
+    return False
+
+
+def python_value(value: Any) -> Any:
+    """Convert a numpy scalar back into a plain Python value for display."""
+    if value is None:
+        return None
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the DBWipes reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or a column reference cannot be bound."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or expression has a type incompatible with its column."""
+
+
+class UnknownTableError(ReproError):
+    """A query references a table that is not registered in the database."""
+
+
+class UnknownColumnError(SchemaError):
+    """A query or predicate references a column absent from the schema."""
+
+    def __init__(self, column: str, available: tuple[str, ...] = ()):
+        self.column = column
+        self.available = tuple(available)
+        hint = f" (available: {', '.join(self.available)})" if self.available else ""
+        super().__init__(f"unknown column {column!r}{hint}")
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        location = f" at position {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class PlanError(ReproError):
+    """The parsed query is semantically invalid (e.g. bare column without GROUP BY)."""
+
+
+class ExecutionError(ReproError):
+    """Query execution failed (e.g. divide-by-zero in strict mode)."""
+
+
+class AggregateError(ReproError):
+    """An aggregate function was misused (unknown name, empty input, bad removal)."""
+
+
+class ProvenanceError(ReproError):
+    """A provenance lookup referenced a result row with no recorded lineage."""
+
+
+class LearnError(ReproError):
+    """A learner (tree, subgroup discovery, k-means) received invalid input."""
+
+
+class NotFittedError(LearnError):
+    """A model was used before ``fit`` was called."""
+
+
+class PipelineError(ReproError):
+    """The ranked-provenance pipeline was invoked with an inconsistent state."""
+
+
+class SessionError(ReproError):
+    """A frontend session method was called out of order (e.g. debug before select)."""

@@ -1,0 +1,29 @@
+"""``repro.frontend`` — the interactive interface substitute.
+
+A programmatic + ASCII-rendered equivalent of the DBWipes web dashboard:
+scatter data, brush selections, error forms, query rewriting, and the
+:class:`DBWipesSession` state machine that enforces the Figure-1 loop.
+"""
+
+from .forms import FormOption, forms_for
+from .render import ascii_scatter, render_predicates_panel, render_query_panel
+from .rewriter import QueryRewriter
+from .scatter import ScatterData, from_result, from_tuples, pca_projection
+from .selection import Brush, union_select
+from .session import DBWipesSession
+
+__all__ = [
+    "Brush",
+    "DBWipesSession",
+    "FormOption",
+    "QueryRewriter",
+    "ScatterData",
+    "ascii_scatter",
+    "forms_for",
+    "from_result",
+    "from_tuples",
+    "pca_projection",
+    "render_predicates_panel",
+    "render_query_panel",
+    "union_select",
+]

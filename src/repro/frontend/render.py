@@ -1,0 +1,129 @@
+"""ASCII rendering of scatterplots and dashboard panels.
+
+The original frontend is a web dashboard; in a library reproduction the
+equivalent artifact is a terminal rendering that makes the walkthrough
+(and the examples) *visibly* tell the paper's story: spikes, negative
+dips, and highlighted selections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scatter import ScatterData
+
+
+def ascii_scatter(
+    scatter: ScatterData,
+    width: int = 72,
+    height: int = 18,
+    highlight_keys: np.ndarray | list[int] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render points on a character grid.
+
+    Ordinary points draw as ``·``, multiple coincident points as ``o``,
+    dense cells as ``@``; highlighted points (e.g. the user's S or D'
+    selection) always draw as ``#``.
+    """
+    finite = np.isfinite(scatter.x) & np.isfinite(scatter.y)
+    xs = scatter.x[finite]
+    ys = scatter.y[finite]
+    keys = scatter.keys[finite]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if len(xs) == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xmin, xmax = float(xs.min()), float(xs.max())
+    ymin, ymax = float(ys.min()), float(ys.max())
+    xspan = xmax - xmin or 1.0
+    yspan = ymax - ymin or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    counts = np.zeros((height, width), dtype=np.int64)
+    highlight = set(int(k) for k in highlight_keys) if highlight_keys is not None else set()
+    highlighted_cells: set[tuple[int, int]] = set()
+    for x, y, key in zip(xs, ys, keys):
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        counts[row][col] += 1
+        if int(key) in highlight:
+            highlighted_cells.add((row, col))
+    for row in range(height):
+        for col in range(width):
+            count = counts[row][col]
+            if count == 0:
+                continue
+            if (row, col) in highlighted_cells:
+                grid[row][col] = "#"
+            elif count == 1:
+                grid[row][col] = "·"
+            elif count < 5:
+                grid[row][col] = "o"
+            else:
+                grid[row][col] = "@"
+    left_labels = _axis_labels(ymin, ymax, height)
+    label_width = max(len(label) for label in left_labels)
+    for row in range(height):
+        lines.append(f"{left_labels[row]:>{label_width}} |" + "".join(grid[row]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = _x_axis_line(xmin, xmax, width)
+    lines.append(" " * label_width + "  " + x_axis)
+    lines.append(
+        " " * label_width
+        + f"  x: {scatter.x_label}   y: {scatter.y_label}"
+        + ("   # = selected" if highlight else "")
+    )
+    return "\n".join(lines)
+
+
+def _axis_labels(ymin: float, ymax: float, height: int) -> list[str]:
+    labels = [""] * height
+    labels[0] = _fmt(ymax)
+    labels[height // 2] = _fmt((ymin + ymax) / 2)
+    labels[height - 1] = _fmt(ymin)
+    return labels
+
+
+def _x_axis_line(xmin: float, xmax: float, width: int) -> str:
+    left = _fmt(xmin)
+    mid = _fmt((xmin + xmax) / 2)
+    right = _fmt(xmax)
+    pad_total = width - len(left) - len(mid) - len(right)
+    pad = max(pad_total // 2, 1)
+    return left + " " * pad + mid + " " * max(pad_total - pad, 1) + right
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_predicates_panel(report, max_rows: int = 8) -> str:
+    """The right-hand 'Ranked Predicates' panel of the dashboard."""
+    lines = ["Ranked Predicates (click to clean)", "=" * 48]
+    if not len(report):
+        lines.append("(none — adjust your selection or metric)")
+    for rank, ranked in enumerate(report.top(max_rows), start=1):
+        lines.append(
+            f"[{rank}] {ranked.predicate.describe()}"
+        )
+        lines.append(
+            f"     removes {ranked.n_matched} tuples, "
+            f"error -{100 * ranked.relative_error_reduction:.0f}%, "
+            f"score {ranked.score:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_query_panel(statement, applied: list) -> str:
+    """The query-input panel with currently applied cleanings (Figure 3)."""
+    lines = ["Query", "=" * 48, statement.to_sql()]
+    if applied:
+        lines.append("")
+        lines.append("Applied cleanings:")
+        for index, predicate in enumerate(applied, start=1):
+            lines.append(f"  {index}. NOT ({predicate.describe()})")
+    return "\n".join(lines)

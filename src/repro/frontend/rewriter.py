@@ -1,0 +1,86 @@
+"""Clean-as-you-query: rewriting the query when predicates are clicked.
+
+Paper §2.2.1 (4): *"The user can click on a hypothesis to see the result
+of the original query on a version of the database that does not contain
+tuples satisfying the hypothesis. The visualization and query
+automatically update."*
+
+Applying a predicate conjoins ``NOT (predicate)`` onto the statement's
+WHERE clause; undoing removes exactly that conjunct. The rewriter keeps
+the application order so cleanings undo LIFO.
+"""
+
+from __future__ import annotations
+
+from ..db.predicate import Predicate
+from ..db.sqlparse.ast_nodes import SelectStatement
+from ..errors import SessionError
+
+
+class QueryRewriter:
+    """Tracks a base statement plus a stack of applied cleanings.
+
+    Undone cleanings are kept on a redo stack; applying a *new* predicate
+    clears it (the usual editor semantics).
+    """
+
+    def __init__(self, statement: SelectStatement):
+        self._base = statement
+        self._applied: list[Predicate] = []
+        self._undone: list[Predicate] = []
+
+    @property
+    def base_statement(self) -> SelectStatement:
+        """The statement as originally written by the user."""
+        return self._base
+
+    @property
+    def applied(self) -> tuple[Predicate, ...]:
+        """Currently applied cleaning predicates, oldest first."""
+        return tuple(self._applied)
+
+    def current_statement(self) -> SelectStatement:
+        """The base statement with every applied cleaning conjoined."""
+        statement = self._base
+        for predicate in self._applied:
+            statement = statement.with_extra_filter(predicate.negated_expr())
+        return statement
+
+    def apply(self, predicate: Predicate) -> SelectStatement:
+        """Apply one more cleaning predicate and return the new statement."""
+        if predicate.is_true:
+            raise SessionError("cannot clean with the always-true predicate")
+        if predicate in self._applied:
+            raise SessionError(f"predicate already applied: {predicate.describe()}")
+        self._applied.append(predicate)
+        self._undone.clear()
+        return self.current_statement()
+
+    def undo(self) -> SelectStatement:
+        """Remove the most recently applied cleaning (redoable)."""
+        if not self._applied:
+            raise SessionError("no applied predicate to undo")
+        self._undone.append(self._applied.pop())
+        return self.current_statement()
+
+    def redo(self) -> SelectStatement:
+        """Re-apply the most recently undone cleaning."""
+        if not self._undone:
+            raise SessionError("no undone predicate to redo")
+        self._applied.append(self._undone.pop())
+        return self.current_statement()
+
+    @property
+    def can_redo(self) -> bool:
+        """Whether a redo is available."""
+        return bool(self._undone)
+
+    def reset(self) -> SelectStatement:
+        """Drop every applied cleaning (and the redo stack)."""
+        self._applied.clear()
+        self._undone.clear()
+        return self.current_statement()
+
+    def sql(self) -> str:
+        """The current statement as SQL text (what the query form shows)."""
+        return self.current_statement().to_sql()

@@ -1,0 +1,156 @@
+"""Scatterplot data: what the dashboard plots and what brushes select from.
+
+Paper §2.2.1 (2): *"Query results are automatically rendered as a
+scatterplot. When the query contains a single group-by attribute, the
+group keys are plotted on the x-axis and the aggregate values on the
+y-axis. If the query contains a multi-attribute group-by, the user can
+pick two group-by attributes to plot against each other."* The paper
+also mentions investigating principal-component projections for
+multi-attribute group-bys; :func:`pca_projection` implements that.
+
+Two kinds of plots exist:
+
+* ``results`` — each point is one output row of the aggregate query
+  (keys are result-row indexes, what S selections contain);
+* ``tuples`` — each point is one raw input tuple (keys are tids, what
+  D' selections contain). This is the "zoom" view of Figure 4 (right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.result import ResultSet
+from ..db.table import Table
+from ..errors import SessionError
+
+
+@dataclass(frozen=True)
+class ScatterData:
+    """A plotted point set with numeric coordinates and stable keys."""
+
+    x_label: str
+    y_label: str
+    x: np.ndarray
+    y: np.ndarray
+    #: Result-row indexes (kind="results") or tids (kind="tuples").
+    keys: np.ndarray
+    kind: str
+    #: When x (resp. y) came from a categorical column, the category
+    #: labels such that ``x[i] == categories.index(label)``.
+    x_categories: tuple | None = None
+    y_categories: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(xmin, xmax, ymin, ymax) over finite points."""
+        finite = np.isfinite(self.x) & np.isfinite(self.y)
+        if not finite.any():
+            return (0.0, 1.0, 0.0, 1.0)
+        return (
+            float(self.x[finite].min()),
+            float(self.x[finite].max()),
+            float(self.y[finite].min()),
+            float(self.y[finite].max()),
+        )
+
+
+def _as_numeric(values: np.ndarray) -> tuple[np.ndarray, tuple | None]:
+    """Map a column to numeric plotting positions (categoricals to codes)."""
+    if values.dtype == object:
+        categories = tuple(sorted({v for v in values if v is not None}, key=repr))
+        index = {value: i for i, value in enumerate(categories)}
+        codes = np.array(
+            [index.get(v, -1) for v in values], dtype=np.float64
+        )
+        codes[codes < 0] = np.nan
+        return codes, categories
+    return np.asarray(values, dtype=np.float64), None
+
+
+def from_result(
+    result: ResultSet, x: str | None = None, y: str | None = None
+) -> ScatterData:
+    """Plot query results: group key on x, aggregate value on y.
+
+    For multi-attribute group-bys pass explicit ``x``/``y`` output column
+    names (either two group keys, per the paper, or a key and another
+    aggregate).
+    """
+    if x is None:
+        if not result.group_key_names:
+            raise SessionError("result has no group keys; pass x explicitly")
+        x = result.group_key_names[0]
+    if y is None:
+        if not result.aggregate_names:
+            raise SessionError("result has no aggregates; pass y explicitly")
+        y = result.aggregate_names[0]
+    x_values, x_categories = _as_numeric(result.column(x))
+    y_values, y_categories = _as_numeric(result.column(y))
+    return ScatterData(
+        x_label=x,
+        y_label=y,
+        x=x_values,
+        y=y_values,
+        keys=np.arange(result.num_rows, dtype=np.int64),
+        kind="results",
+        x_categories=x_categories,
+        y_categories=y_categories,
+    )
+
+
+def from_tuples(table: Table, x: str, y: str) -> ScatterData:
+    """Plot raw tuples (the zoom view); keys are the tuples' tids."""
+    x_values, x_categories = _as_numeric(table.column(x))
+    y_values, y_categories = _as_numeric(table.column(y))
+    return ScatterData(
+        x_label=x,
+        y_label=y,
+        x=x_values,
+        y=y_values,
+        keys=np.asarray(table.tids).copy(),
+        kind="tuples",
+        x_categories=x_categories,
+        y_categories=y_categories,
+    )
+
+
+def pca_projection(
+    result: ResultSet, columns: list[str] | None = None
+) -> ScatterData:
+    """Project multi-attribute group-by results onto their two largest
+    principal components (the paper's 'currently investigating' idea).
+
+    Categorical key columns are code-mapped before projection; columns
+    are standardized so no single attribute dominates.
+    """
+    if columns is None:
+        columns = list(result.group_key_names)
+    if len(columns) < 2:
+        raise SessionError("PCA projection needs at least two columns")
+    mapped = []
+    for name in columns:
+        values, __ = _as_numeric(result.column(name))
+        mapped.append(values)
+    X = np.column_stack(mapped)
+    X = np.nan_to_num(X, nan=0.0)
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std = np.where(std > 0, std, 1.0)
+    Z = (X - mean) / std
+    __, __, vt = np.linalg.svd(Z, full_matrices=False)
+    components = Z @ vt[:2].T
+    if components.shape[1] < 2:
+        components = np.column_stack([components[:, 0], np.zeros(len(components))])
+    return ScatterData(
+        x_label="pc1",
+        y_label="pc2",
+        x=components[:, 0],
+        y=components[:, 1],
+        keys=np.arange(result.num_rows, dtype=np.int64),
+        kind="results",
+    )

@@ -1,0 +1,71 @@
+"""Rules: predicates annotated with coverage and quality statistics.
+
+A :class:`Rule` wraps a :class:`~repro.db.predicate.Predicate` (so it
+inherits SQL rendering and vectorized evaluation for free) and records
+how well it separates the positive class. Decision-tree positive paths
+and CN2-SD subgroups both produce rules, giving the predicate enumerator
+and ranker a single currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.predicate import Predicate
+from ..db.table import Table
+from .metrics import Confusion, confusion
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunctive description of (part of) the positive class."""
+
+    predicate: Predicate
+    #: Weighted number of rows the rule covers.
+    n_covered: float = 0.0
+    #: Weighted number of positive rows the rule covers.
+    n_pos_covered: float = 0.0
+    #: Learner-specific quality (WRAcc for subgroups, leaf purity for trees).
+    quality: float = 0.0
+    #: Which learner produced the rule (for reports and dedup provenance).
+    source: str = ""
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def precision(self) -> float:
+        """Covered-positive fraction."""
+        return self.n_pos_covered / self.n_covered if self.n_covered else 0.0
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows the rule covers."""
+        return self.predicate.mask(table)
+
+    def evaluate(self, table: Table, labels: np.ndarray) -> Confusion:
+        """Confusion counts of this rule as a binary classifier on ``table``."""
+        return confusion(labels, self.mask(table))
+
+    def describe(self) -> str:
+        """Human-readable rule text."""
+        return self.predicate.describe()
+
+    def __str__(self) -> str:
+        return (
+            f"{self.describe()}  "
+            f"[cov={self.n_covered:.0f}, prec={self.precision:.2f}, q={self.quality:.4f}]"
+        )
+
+
+def dedupe_rules(rules: list[Rule]) -> list[Rule]:
+    """Drop rules with identical predicates, keeping the highest quality one."""
+    best: dict[Predicate, Rule] = {}
+    order: list[Predicate] = []
+    for rule in rules:
+        existing = best.get(rule.predicate)
+        if existing is None:
+            best[rule.predicate] = rule
+            order.append(rule.predicate)
+        elif rule.quality > existing.quality:
+            best[rule.predicate] = rule
+    return [best[predicate] for predicate in order]

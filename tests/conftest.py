@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import Database, Table
+
+
+@pytest.fixture
+def sensors_table() -> Table:
+    """A tiny, hand-checkable sensor table (7 rows, mixed types)."""
+    return Table.from_columns(
+        {
+            "sensorid": [1, 1, 2, 2, 2, 3, 3],
+            "time": [0, 35, 0, 31, 62, 5, 40],
+            "temp": [20.0, 21.0, 22.0, 120.0, 23.0, 19.5, 20.5],
+            "room": ["a", "a", "b", "b", "b", "a", "a"],
+        },
+        types={"sensorid": "int", "time": "int", "temp": "float", "room": "str"},
+        name="sensors",
+    )
+
+
+@pytest.fixture
+def sensors_db(sensors_table) -> Database:
+    """A database holding the tiny sensor table."""
+    db = Database()
+    db.register(sensors_table)
+    return db
+
+
+@pytest.fixture
+def donations_db() -> Database:
+    """A small donations table with a planted negative-memo anomaly."""
+    rng = np.random.default_rng(42)
+    n = 300
+    days = rng.integers(0, 30, n)
+    amounts = np.round(rng.lognormal(4.0, 0.8, n), 2)
+    memos = np.array([""] * n, dtype=object)
+    candidates = np.array(
+        ["A" if v < 0.5 else "B" for v in rng.random(n)], dtype=object
+    )
+    # Anomaly: 12 negative donations to B on days 14-16 with a memo.
+    bad = rng.choice(np.flatnonzero(candidates == "B"), 12, replace=False)
+    amounts[bad] = -np.round(rng.uniform(500, 2000, 12), 2)
+    memos[bad] = "REATTRIBUTION TO SPOUSE"
+    days[bad] = rng.integers(14, 17, 12)
+    db = Database()
+    db.create_table(
+        "donations",
+        {
+            "candidate": list(candidates),
+            "amount": amounts,
+            "day": days,
+            "memo": list(memos),
+        },
+        types={"candidate": "str", "amount": "float", "day": "int", "memo": "str"},
+    )
+    return db
+
+
+@pytest.fixture
+def separable_table() -> tuple[Table, np.ndarray]:
+    """A 400-row table where `temp > 90` iff `sensor == 3` (plus voltage cue)."""
+    rng = np.random.default_rng(0)
+    n = 400
+    sensor = rng.integers(1, 10, n)
+    volt = np.where(sensor == 3, rng.uniform(2.0, 2.3, n), rng.uniform(2.5, 3.0, n))
+    temp = np.where(sensor == 3, rng.uniform(100, 130, n), rng.uniform(15, 30, n))
+    room = np.array(["lab" if s % 2 else "office" for s in sensor], dtype=object)
+    table = Table.from_columns(
+        {
+            "sensorid": sensor,
+            "voltage": volt,
+            "temp": temp,
+            "room": list(room),
+        },
+        types={"sensorid": "int", "voltage": "float", "temp": "float", "room": "str"},
+    )
+    return table, temp > 90

@@ -1,0 +1,115 @@
+"""Tests for the baseline explainers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    coarse_grained_explanation,
+    fine_grained_explanation,
+    predefined_criteria_explanation,
+    responsibility_explanation,
+)
+from repro.core import Preprocessor, TooHigh, TooLow
+from repro.db import Database
+
+
+@pytest.fixture
+def setup(donations_db):
+    result = donations_db.sql(
+        "SELECT day, sum(amount) AS total FROM donations GROUP BY day ORDER BY day"
+    )
+    totals = np.asarray(result.column("total"))
+    S = [i for i in range(result.num_rows) if totals[i] < 0] or [
+        int(np.argmin(totals))
+    ]
+    pre = Preprocessor().run(result, S, TooLow(0.0))
+    return result, S, pre
+
+
+class TestFineGrained:
+    def test_returns_all_inputs(self, setup):
+        result, S, pre = setup
+        explanation = fine_grained_explanation(result, S)
+        assert explanation.size == len(pre.F)
+
+    def test_low_precision_by_construction(self, setup):
+        result, S, pre = setup
+        explanation = fine_grained_explanation(result, S)
+        amounts = np.asarray(pre.F.column("amount"))
+        bad = int((amounts < 0).sum())
+        assert bad / explanation.size < 0.5  # most returned tuples are fine
+
+    def test_top_unranked_prefix(self, setup):
+        result, S, __ = setup
+        explanation = fine_grained_explanation(result, S)
+        assert len(explanation.top(3)) == 3
+
+
+class TestCoarseGrained:
+    def test_uninformative_pipeline_text(self, setup):
+        result, __, __ = setup
+        text = coarse_grained_explanation(result)
+        assert "groupby" in text
+        assert "aggregate" in text
+        # No tuple ids anywhere: that is the point.
+        assert "tid" not in text
+
+
+class TestPredefinedCriteria:
+    def test_sum_too_low_ranks_smallest_first(self, setup):
+        __, __, pre = setup
+        explanation = predefined_criteria_explanation(pre)
+        top = explanation.top(5)
+        amounts = {
+            int(t): float(a)
+            for t, a in zip(pre.F.tids, pre.F.column("amount"))
+        }
+        for tid in top:
+            assert amounts[int(tid)] < 0
+
+    def test_stddev_ranks_by_distance_from_mean(self, donations_db):
+        result = donations_db.sql(
+            "SELECT candidate, stddev(amount) AS s FROM donations "
+            "GROUP BY candidate ORDER BY candidate"
+        )
+        pre = Preprocessor().run(result, [1], TooHigh(0.0), agg_name="s")
+        explanation = predefined_criteria_explanation(pre)
+        top_tid = int(explanation.top(1)[0])
+        amounts = np.asarray(pre.F.column("amount"))
+        distances = np.abs(amounts - amounts.mean())
+        top_value = amounts[pre.F.position_of(top_tid)]
+        assert abs(top_value - amounts.mean()) == pytest.approx(distances.max())
+
+
+class TestResponsibility:
+    def test_minimal_fix_gets_highest_responsibility(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"v": [10.0, 12.0, 11.0, 100.0], "g": [0, 0, 0, 0]},
+            types={"v": "float", "g": "int"},
+        )
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        pre = Preprocessor().run(result, [0], TooHigh(20.0))
+        explanation = responsibility_explanation(pre)
+        # Removing just the 100 fixes the group: responsibility 1/1.
+        scores = {int(t): s for t, s in zip(explanation.tids, explanation.scores)}
+        assert scores[3] == 1.0
+        assert all(scores[t] < 1.0 for t in (0, 1, 2))
+
+    def test_unfixable_group_floor_responsibility(self):
+        db = Database()
+        db.create_table(
+            "t", {"v": [10.0, 12.0], "g": [0, 0]}, types={"v": "float", "g": "int"}
+        )
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        pre = Preprocessor().run(result, [0], TooHigh(1.0))
+        explanation = responsibility_explanation(pre)
+        assert np.allclose(explanation.scores, 1.0 / 3.0)
+
+    def test_ranking_correlates_with_influence(self, setup):
+        __, __, pre = setup
+        explanation = responsibility_explanation(pre)
+        top = set(int(t) for t in explanation.top(10))
+        influence_top = set(int(t) for t in pre.influence.ranked_tids()[:10])
+        assert len(top & influence_top) >= 5

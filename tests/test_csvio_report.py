@@ -1,0 +1,157 @@
+"""Tests for CSV I/O, the debug report container, and rule utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import DebugReport, RankedPredicate
+from repro.db import ColumnType, Table, equals, read_csv, write_csv
+from repro.errors import SchemaError
+from repro.learn.rules import Rule, dedupe_rules
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, tmp_path, sensors_table):
+        path = tmp_path / "sensors.csv"
+        write_csv(sensors_table, path)
+        loaded = read_csv(path)
+        assert loaded.schema.names == sensors_table.schema.names
+        assert list(loaded.iter_rows()) == list(sensors_table.iter_rows())
+
+    def test_type_inference_from_cells(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c\n1,1.5,x\n2,2.5,y\n")
+        table = read_csv(path)
+        assert table.schema.type_of("a") is ColumnType.INT
+        assert table.schema.type_of("b") is ColumnType.FLOAT
+        assert table.schema.type_of("c") is ColumnType.STR
+
+    def test_empty_cells_become_null(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1.5,x\n,\n")
+        table = read_csv(path)
+        assert np.isnan(table["a"][1])
+        assert table["b"][1] is None
+
+    def test_type_override(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        table = read_csv(path, types={"a": "float"})
+        assert table.schema.type_of("a") is ColumnType.FLOAT
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "donations.csv"
+        path.write_text("a\n1\n")
+        assert read_csv(path).name == "donations"
+
+    def test_null_round_trip(self, tmp_path):
+        table = Table.from_columns(
+            {"x": [1.0, None], "s": ["a", None]},
+            types={"x": "float", "s": "str"},
+        )
+        path = tmp_path / "nulls.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, types={"s": "str"})
+        assert np.isnan(loaded["x"][1])
+        assert loaded["s"][1] is None
+
+
+def _ranked(describe_score):
+    out = []
+    for description, score in describe_score:
+        out.append(
+            RankedPredicate(
+                predicate=equals("k", description),
+                score=score,
+                epsilon_before=10.0,
+                epsilon_after=10.0 * (1 - score),
+                accuracy=0.9,
+                precision=0.9,
+                recall=0.9,
+                complexity=1,
+                n_matched=5,
+                candidate_origin="dprime",
+                source="tree:gini",
+            )
+        )
+    return DebugReport(
+        predicates=tuple(out),
+        epsilon=10.0,
+        metric_description="test metric",
+        selected_rows=(0,),
+        n_inputs=100,
+        n_dprime=5,
+        n_candidates=2,
+        timings={"preprocess": 0.01, "rank": 0.02},
+    )
+
+
+class TestDebugReport:
+    def test_indexing_iteration(self):
+        report = _ranked([("a", 0.9), ("b", 0.5)])
+        assert len(report) == 2
+        assert report[0].score == 0.9
+        assert [r.score for r in report] == [0.9, 0.5]
+
+    def test_best_and_top(self):
+        report = _ranked([("a", 0.9), ("b", 0.5), ("c", 0.1)])
+        assert report.best.score == 0.9
+        assert len(report.top(2)) == 2
+
+    def test_empty_report(self):
+        report = _ranked([])
+        assert report.best is None
+        assert "(no predicates found)" in report.to_text()
+
+    def test_error_reduction_properties(self):
+        report = _ranked([("a", 0.8)])
+        entry = report[0]
+        assert entry.error_reduction == pytest.approx(8.0)
+        assert entry.relative_error_reduction == pytest.approx(0.8)
+
+    def test_total_time(self):
+        report = _ranked([("a", 0.8)])
+        assert report.total_time() == pytest.approx(0.03)
+
+    def test_to_text_truncation(self):
+        report = _ranked([(f"p{i}", 1.0 - i * 0.01) for i in range(15)])
+        text = report.to_text(max_rows=5)
+        assert "more" in text
+
+
+class TestRuleUtilities:
+    def test_dedupe_keeps_best_quality(self):
+        p = equals("k", "a")
+        rules = [
+            Rule(predicate=p, quality=0.2, source="x"),
+            Rule(predicate=p, quality=0.9, source="y"),
+            Rule(predicate=equals("k", "b"), quality=0.5, source="z"),
+        ]
+        deduped = dedupe_rules(rules)
+        assert len(deduped) == 2
+        assert deduped[0].quality == 0.9
+
+    def test_rule_precision(self):
+        rule = Rule(predicate=equals("k", "a"), n_covered=10, n_pos_covered=7)
+        assert rule.precision == pytest.approx(0.7)
+
+    def test_rule_precision_zero_coverage(self):
+        rule = Rule(predicate=equals("k", "a"))
+        assert rule.precision == 0.0
+
+    def test_rule_str(self):
+        rule = Rule(predicate=equals("k", "a"), n_covered=3, n_pos_covered=3,
+                    quality=0.5)
+        text = str(rule)
+        assert "k = 'a'" in text and "cov=3" in text

@@ -1,0 +1,185 @@
+"""Tests for the synthetic dataset generators and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FECConfig,
+    IntelConfig,
+    REATTRIBUTION_MEMO,
+    SyntheticConfig,
+    dirty_group_rows,
+    explanation_quality,
+    generate_fec,
+    generate_intel,
+    generate_synthetic,
+    tid_set_quality,
+    walkthrough_query,
+)
+from repro.db import Database
+
+
+class TestIntelGenerator:
+    @pytest.fixture(scope="class")
+    def intel(self):
+        return generate_intel(
+            IntelConfig(duration_minutes=240, interval_minutes=2.0, n_sensors=20,
+                        failing_sensors=(5, 9))
+        )
+
+    def test_shape(self, intel):
+        table, __ = intel
+        assert len(table) == 20 * 120
+        assert set(table.schema.names) == {
+            "sensorid", "epoch", "minute", "hour", "temp", "humidity",
+            "light", "voltage",
+        }
+
+    def test_deterministic(self):
+        config = IntelConfig(duration_minutes=120, n_sensors=5, failing_sensors=(2,))
+        t1, __ = generate_intel(config)
+        t2, __ = generate_intel(config)
+        np.testing.assert_array_equal(t1.column("temp"), t2.column("temp"))
+
+    def test_failing_sensors_run_hot_after_onset(self, intel):
+        table, truth = intel
+        temp = np.asarray(table.column("temp"))
+        labels = truth.label_mask(table)
+        assert temp[labels].min() > 60.0
+        assert temp[labels].mean() > 95.0
+
+    def test_healthy_sensors_stay_room_temperature(self, intel):
+        table, truth = intel
+        temp = np.asarray(table.column("temp"))
+        labels = truth.label_mask(table)
+        assert temp[~labels].max() < 95.0
+
+    def test_failing_voltage_low(self, intel):
+        table, truth = intel
+        voltage = np.asarray(table.column("voltage"))
+        labels = truth.label_mask(table)
+        assert voltage[labels].max() < 2.45
+        assert voltage[~labels].min() > 2.5
+
+    def test_truth_covers_only_post_onset(self, intel):
+        table, truth = intel
+        minute = np.asarray(table.column("minute"))
+        labels = truth.label_mask(table)
+        assert minute[labels].min() >= 120  # onset at 50% of 240 minutes
+
+    def test_bad_failing_sensor_rejected(self):
+        with pytest.raises(ValueError):
+            IntelConfig(n_sensors=5, failing_sensors=(99,))
+
+    def test_runs_through_sql_engine(self, intel):
+        table, __ = intel
+        db = Database()
+        db.register(table)
+        result = db.sql(
+            "SELECT minute / 30 AS w, avg(temp), stddev(temp) FROM readings "
+            "GROUP BY minute / 30 ORDER BY w"
+        )
+        assert result.num_rows == 8
+
+
+class TestFECGenerator:
+    @pytest.fixture(scope="class")
+    def fec(self):
+        return generate_fec(FECConfig(n_days=200, anomaly_day=150, base_rate=10))
+
+    def test_schema(self, fec):
+        table, __ = fec
+        assert set(table.schema.names) == {
+            "candidate", "amount", "day", "state", "city", "occupation", "memo",
+        }
+
+    def test_anomaly_rows_negative_with_memo(self, fec):
+        table, truth = fec
+        labels = truth.label_mask(table)
+        amounts = np.asarray(table.column("amount"))
+        memos = np.asarray(table.column("memo"), dtype=object)
+        assert (amounts[labels] < 0).all()
+        assert all(m == REATTRIBUTION_MEMO for m in memos[labels])
+
+    def test_normal_rows_positive(self, fec):
+        table, truth = fec
+        labels = truth.label_mask(table)
+        amounts = np.asarray(table.column("amount"))
+        assert (amounts[~labels] > 0).all()
+
+    def test_truth_predicate_matches_exactly(self, fec):
+        table, truth = fec
+        quality = explanation_quality(truth.predicate, table, truth)
+        assert quality.f1 == 1.0
+
+    def test_event_days_have_spikes(self):
+        table, __ = generate_fec(FECConfig(n_days=200, base_rate=20,
+                                           events=((100, 5.0),),
+                                           anomaly_day=150))
+        days = np.asarray(table.column("day"))
+        spike = int((days == 100).sum())
+        baseline = int((days == 50).sum())
+        assert spike > baseline * 2
+
+    def test_anomaly_day_window(self, fec):
+        table, truth = fec
+        days = np.asarray(table.column("day"))
+        labels = truth.label_mask(table)
+        assert days[labels].min() >= 147
+        assert days[labels].max() <= 153
+
+    def test_walkthrough_query_runs(self, fec):
+        table, __ = fec
+        db = Database()
+        db.register(table)
+        result = db.sql(walkthrough_query("MCCAIN"))
+        assert result.group_key_names == ("day",)
+
+    def test_invalid_anomaly_candidate(self):
+        with pytest.raises(ValueError):
+            FECConfig(anomaly_candidate="NOBODY")
+
+    def test_deterministic(self):
+        config = FECConfig(n_days=50, anomaly_day=25, base_rate=5)
+        t1, truth1 = generate_fec(config)
+        t2, truth2 = generate_fec(config)
+        assert len(t1) == len(t2)
+        np.testing.assert_array_equal(truth1.tids, truth2.tids)
+
+
+class TestSyntheticGenerator:
+    def test_truth_rows_shifted(self):
+        table, truth = generate_synthetic(SyntheticConfig(n_rows=3000, seed=1))
+        measure = np.asarray(table.column("measure"))
+        labels = truth.label_mask(table)
+        assert labels.sum() > 0
+        assert measure[labels].mean() > measure[~labels].mean() + 30
+
+    def test_hidden_predicate_covers_truth(self):
+        table, truth = generate_synthetic(SyntheticConfig(n_rows=3000, seed=2))
+        quality = explanation_quality(truth.predicate, table, truth)
+        assert quality.recall == 1.0
+
+    def test_dirty_group_rows(self):
+        table, truth = generate_synthetic(
+            SyntheticConfig(n_rows=3000, n_dirty_groups=3, seed=3)
+        )
+        assert 1 <= len(dirty_group_rows(table, truth)) <= 3
+
+    def test_legit_outliers_not_in_truth(self):
+        table, truth = generate_synthetic(
+            SyntheticConfig(n_rows=3000, legit_outlier_rate=0.01, seed=4)
+        )
+        measure = np.asarray(table.column("measure"))
+        labels = truth.label_mask(table)
+        legit_extremes = (~labels) & (measure > measure[labels].min())
+        assert legit_extremes.sum() > 0  # decoys exist outside ground truth
+
+    def test_predicate_kind_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(predicate_kind="nope")
+
+    def test_tid_set_quality(self):
+        table, truth = generate_synthetic(SyntheticConfig(n_rows=1000, seed=5))
+        quality = tid_set_quality(truth.tids, table, truth)
+        assert quality.f1 == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the error metric family ε(S)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiffFromConstant,
+    NotEqual,
+    TooHigh,
+    TooLow,
+    available_metric_ids,
+    metric_from_form,
+)
+from repro.errors import PipelineError
+
+
+class TestTooHigh:
+    def test_zero_when_under_threshold(self):
+        assert TooHigh(100)(np.array([50.0, 99.0])) == 0.0
+
+    def test_max_excess(self):
+        assert TooHigh(100)(np.array([120.0, 150.0, 80.0])) == 50.0
+
+    def test_matches_paper_diff_definition(self):
+        # diff(S) = max(0, max_{s in S}(s - c))
+        values = np.array([95.0, 130.0, 110.0])
+        c = 100.0
+        expected = max(0.0, max(values) - c)
+        assert DiffFromConstant(c)(values) == expected
+
+    def test_sum_combine(self):
+        metric = TooHigh(100, combine="sum")
+        assert metric(np.array([120.0, 150.0, 80.0])) == 70.0
+
+    def test_nan_values_contribute_zero(self):
+        assert TooHigh(100)(np.array([np.nan, 90.0])) == 0.0
+        assert TooHigh(100)(np.array([np.nan, 120.0])) == 20.0
+
+    def test_empty_selection_zero(self):
+        assert TooHigh(100)(np.array([])) == 0.0
+
+    def test_direction(self):
+        assert TooHigh(0).direction == +1
+
+
+class TestTooLow:
+    def test_max_shortfall(self):
+        assert TooLow(0)(np.array([-500.0, 10.0, -100.0])) == 500.0
+
+    def test_zero_when_above(self):
+        assert TooLow(0)(np.array([1.0, 2.0])) == 0.0
+
+    def test_direction(self):
+        assert TooLow(0).direction == -1
+
+
+class TestNotEqual:
+    def test_max_distance(self):
+        assert NotEqual(10)(np.array([7.0, 15.0])) == 5.0
+
+    def test_exact_is_zero(self):
+        assert NotEqual(10)(np.array([10.0, 10.0])) == 0.0
+
+    def test_direction_neutral(self):
+        assert NotEqual(0).direction == 0
+
+
+class TestFormRegistry:
+    def test_available_ids(self):
+        ids = available_metric_ids()
+        assert set(ids) >= {"too_high", "too_low", "not_equal", "diff"}
+
+    def test_build_from_form(self):
+        metric = metric_from_form("too_high", threshold=42.0)
+        assert isinstance(metric, TooHigh)
+        assert metric.threshold == 42.0
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(PipelineError):
+            metric_from_form("nope")
+
+    def test_bad_combine_rejected(self):
+        with pytest.raises(PipelineError):
+            TooHigh(1, combine="median")
+
+    def test_describe_mentions_threshold(self):
+        assert "100" in TooHigh(100).describe()
+        assert "5" in NotEqual(5).describe()

@@ -1,0 +1,158 @@
+"""Failure-injection tests: the pipeline under hostile inputs.
+
+NULL-ridden columns, constant columns, groups that vanish entirely under
+cleaning, selections covering everything, duplicate user selections —
+the library must degrade gracefully (empty-but-valid reports, exact
+errors), never crash or return garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, RankedProvenance, TooHigh, TooLow
+from repro.db import Database, Table
+from repro.errors import PipelineError
+from repro.frontend import Brush, DBWipesSession
+
+
+@pytest.fixture
+def nully_db():
+    rng = np.random.default_rng(17)
+    n = 120
+    values = rng.normal(10, 1, n)
+    values[rng.random(n) < 0.2] = np.nan  # 20% NULL measurements
+    bad = np.arange(100, 120)
+    values[bad] = rng.normal(50, 2, 20)
+    k = np.array(["ok"] * n, dtype=object)
+    k[bad] = "bad"
+    k[rng.random(n) < 0.1] = None  # NULL categories too
+    db = Database()
+    db.create_table(
+        "t",
+        {"v": values, "k": list(k), "g": [0] * n},
+        types={"v": "float", "k": "str", "g": "int"},
+    )
+    return db, bad
+
+
+class TestNullTolerance:
+    def test_pipeline_survives_nulls(self, nully_db):
+        db, bad = nully_db
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        report = RankedProvenance().debug(
+            result, [0], TooHigh(12.0), dprime_tids=bad
+        )
+        assert len(report) > 0
+        best_columns = report.best.predicate.columns()
+        assert best_columns <= {"v", "k", "g"}
+
+    def test_aggregates_over_all_null_group(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"v": [None, None, 3.0], "g": [0, 0, 1]},
+            types={"v": "float", "g": "int"},
+        )
+        result = db.sql("SELECT g, avg(v) AS m, count(v) AS n FROM t GROUP BY g "
+                        "ORDER BY g")
+        assert result.row(0)[2] == 0  # count skips NULLs
+        assert np.isnan(result.row(0)[1])
+
+    def test_metric_ignores_vanished_groups(self):
+        # A NaN aggregate value (emptied group) contributes zero error.
+        metric = TooHigh(5.0)
+        assert metric(np.array([np.nan, np.nan])) == 0.0
+
+
+class TestDegenerateSelections:
+    def test_all_rows_selected(self, nully_db):
+        db, bad = nully_db
+        result = db.sql("SELECT k, avg(v) AS m FROM t GROUP BY k ORDER BY k")
+        all_rows = list(range(result.num_rows))
+        report = RankedProvenance().debug(result, all_rows, TooHigh(12.0))
+        assert report.epsilon >= 0  # runs; may or may not find predicates
+
+    def test_duplicate_selection_rows(self, nully_db):
+        db, __ = nully_db
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        report = RankedProvenance().debug(result, [0, 0, 0], TooHigh(12.0))
+        assert report.epsilon >= 0
+
+    def test_dprime_equals_F(self, nully_db):
+        db, __ = nully_db
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        all_tids = result.fine.all_tids()
+        # D' = everything: candidates are degenerate (labels all positive)
+        # but the pipeline must not crash.
+        report = RankedProvenance().debug(
+            result, [0], TooHigh(12.0), dprime_tids=all_tids
+        )
+        assert report.epsilon > 0
+
+    def test_error_free_selection_gives_empty_report(self, nully_db):
+        db, __ = nully_db
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        report = RankedProvenance().debug(result, [0], TooHigh(1e9))
+        assert report.epsilon == 0.0
+        assert len(report) == 0
+
+
+class TestConstantColumns:
+    def test_constant_feature_columns_never_split(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {
+                "v": [1.0, 1.0, 1.0, 50.0, 50.0],
+                "const_num": [7.0] * 5,
+                "const_cat": ["same"] * 5,
+                "g": [0] * 5,
+            },
+            types={"v": "float", "const_num": "float", "const_cat": "str",
+                   "g": "int"},
+        )
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        report = RankedProvenance().debug(
+            result, [0], TooHigh(5.0), dprime_tids=[3, 4]
+        )
+        for ranked in report:
+            assert "const_num" not in ranked.predicate.columns()
+            assert "const_cat" not in ranked.predicate.columns()
+
+
+class TestSessionRobustness:
+    def test_cleaning_that_empties_result(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"v": [100.0, 120.0], "k": ["x", "x"], "g": [0, 0]},
+            types={"v": "float", "k": "str", "g": "int"},
+        )
+        session = DBWipesSession(db)
+        session.execute("SELECT g, avg(v) AS m FROM t GROUP BY g")
+        session.select_results([0])
+        session.zoom()
+        session.select_inputs(Brush.above(0.0))  # everything
+        session.set_metric(TooHigh(10.0))
+        report = session.debug()
+        if len(report):
+            result = session.apply_predicate(0)
+            # The group may vanish entirely; that must be a valid result.
+            assert result.num_rows in (0, 1)
+
+    def test_empty_query_result_brush(self):
+        db = Database()
+        db.create_table("t", {"v": [1.0], "g": [0]},
+                        types={"v": "float", "g": "int"})
+        session = DBWipesSession(db)
+        session.execute("SELECT g, avg(v) AS m FROM t WHERE v > 100 GROUP BY g")
+        assert session.result.num_rows == 0
+        assert session.select_results(Brush.above(0.0)) == ()
+
+    def test_preprocessor_rejects_empty_lineage_selection(self):
+        db = Database()
+        db.create_table("t", {"v": [1.0], "g": [0]},
+                        types={"v": "float", "g": "int"})
+        result = db.sql("SELECT g, avg(v) AS m FROM t WHERE v > 100 GROUP BY g")
+        with pytest.raises(PipelineError):
+            RankedProvenance().debug(result, [0], TooHigh(0.0))

@@ -1,0 +1,232 @@
+"""Tests for scatter data, brushes, rendering, forms, and the rewriter."""
+
+import numpy as np
+import pytest
+
+from repro.core import TooHigh
+from repro.db import Predicate, Table, equals, parse_select
+from repro.db.predicate import CategoricalClause
+from repro.errors import SessionError
+from repro.frontend import (
+    Brush,
+    QueryRewriter,
+    ascii_scatter,
+    forms_for,
+    from_result,
+    from_tuples,
+    pca_projection,
+    union_select,
+)
+
+
+@pytest.fixture
+def result(sensors_db):
+    return sensors_db.sql(
+        "SELECT time / 30 AS w, avg(temp) AS m FROM sensors GROUP BY time / 30 "
+        "ORDER BY w"
+    )
+
+
+class TestScatterData:
+    def test_from_result_defaults(self, result):
+        scatter = from_result(result)
+        assert scatter.x_label == "w"
+        assert scatter.y_label == "m"
+        assert scatter.kind == "results"
+        assert len(scatter) == 3
+
+    def test_keys_are_row_indexes(self, result):
+        scatter = from_result(result)
+        assert scatter.keys.tolist() == [0, 1, 2]
+
+    def test_categorical_axis_coded(self, sensors_db):
+        result = sensors_db.sql(
+            "SELECT room, count(*) FROM sensors GROUP BY room ORDER BY room"
+        )
+        scatter = from_result(result)
+        assert scatter.x_categories == ("a", "b")
+        assert scatter.x.tolist() == [0.0, 1.0]
+
+    def test_explicit_axes(self, sensors_db):
+        result = sensors_db.sql(
+            "SELECT room, sensorid, count(*) FROM sensors GROUP BY room, sensorid"
+        )
+        scatter = from_result(result, x="room", y="sensorid")
+        assert scatter.y_label == "sensorid"
+
+    def test_missing_defaults_raise(self, sensors_db):
+        projection = sensors_db.sql("SELECT temp FROM sensors")
+        with pytest.raises(SessionError):
+            from_result(projection)
+
+    def test_from_tuples_keys_are_tids(self, sensors_table):
+        scatter = from_tuples(sensors_table, "time", "temp")
+        assert scatter.kind == "tuples"
+        assert scatter.keys.tolist() == list(range(7))
+
+    def test_bounds(self, result):
+        xmin, xmax, ymin, ymax = from_result(result).bounds()
+        assert xmin == 0 and xmax == 2
+
+    def test_pca_projection(self, sensors_db):
+        result = sensors_db.sql(
+            "SELECT room, sensorid, count(*) FROM sensors GROUP BY room, sensorid"
+        )
+        scatter = pca_projection(result, ["room", "sensorid"])
+        assert scatter.x_label == "pc1"
+        assert len(scatter) == result.num_rows
+
+    def test_pca_needs_two_columns(self, result):
+        with pytest.raises(SessionError):
+            pca_projection(result, ["w"])
+
+
+class TestBrush:
+    def test_rectangle_selects_inside(self, result):
+        scatter = from_result(result)
+        brush = Brush(0.5, 1.5, 0, 200)
+        assert brush.select(scatter).tolist() == [1]
+
+    def test_above_below(self, result):
+        scatter = from_result(result)
+        assert Brush.above(50).select(scatter).tolist() == [1]
+        assert set(Brush.below(50).select(scatter).tolist()) == {0, 2}
+
+    def test_over_x(self, result):
+        scatter = from_result(result)
+        assert Brush.over_x(1, 2).select(scatter).tolist() == [1, 2]
+
+    def test_union_select(self, result):
+        scatter = from_result(result)
+        keys = union_select([Brush.over_x(0, 0), Brush.over_x(2, 2)], scatter)
+        assert set(keys.tolist()) == {0, 2}
+
+    def test_union_empty(self, result):
+        assert union_select([], from_result(result)).tolist() == []
+
+    def test_degenerate_brush_rejected(self):
+        with pytest.raises(SessionError):
+            Brush(1, 0, 0, 1)
+
+    def test_nan_points_never_selected(self):
+        table = Table.from_columns(
+            {"x": [1.0, float("nan")], "y": [1.0, 1.0]},
+        )
+        scatter = from_tuples(table, "x", "y")
+        brush = Brush(-10, 10, -10, 10)
+        assert brush.select(scatter).tolist() == [0]
+
+
+class TestAsciiRender:
+    def test_contains_axes_and_points(self, result):
+        text = ascii_scatter(from_result(result))
+        assert "·" in text or "o" in text
+        assert "x: w" in text and "y: m" in text
+
+    def test_highlight_marker(self, result):
+        text = ascii_scatter(from_result(result), highlight_keys=[1])
+        assert "#" in text
+
+    def test_empty_scatter(self):
+        table = Table.from_columns({"x": [], "y": []},
+                                   types={"x": "float", "y": "float"})
+        text = ascii_scatter(from_tuples(table, "x", "y"))
+        assert "(no data)" in text
+
+    def test_title(self, result):
+        text = ascii_scatter(from_result(result), title="Figure 7")
+        assert text.startswith("Figure 7")
+
+
+class TestErrorForms:
+    def test_avg_forms(self):
+        options = forms_for("avg")
+        ids = [o.form_id for o in options]
+        assert "too_high" in ids and "too_low" in ids and "not_equal" in ids
+
+    def test_defaults_from_context(self):
+        options = forms_for(
+            "avg",
+            selected_values=np.array([100.0]),
+            unselected_values=np.array([10.0, 20.0]),
+        )
+        too_high = next(o for o in options if o.form_id == "too_high")
+        assert too_high.defaults["threshold"] == 20.0
+        metric = too_high.build()
+        assert isinstance(metric, TooHigh)
+        assert metric.threshold == 20.0
+
+    def test_build_with_override(self):
+        options = forms_for("stddev")
+        option = next(o for o in options if o.form_id == "too_high")
+        metric = option.build(threshold=5.0)
+        assert metric.threshold == 5.0
+
+    def test_build_missing_param_raises(self):
+        option = forms_for("avg")[0]
+        with pytest.raises(SessionError):
+            option.build()
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(SessionError):
+            forms_for("median")
+
+
+class TestQueryRewriter:
+    STATEMENT = parse_select(
+        "SELECT day, sum(amount) AS total FROM c WHERE candidate = 'X' GROUP BY day"
+    )
+
+    def test_apply_conjoins_not(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        predicate = equals("memo", "BAD")
+        statement = rewriter.apply(predicate)
+        sql = statement.to_sql()
+        assert "NOT" in sql and "BAD" in sql
+        assert "candidate = 'X'" in sql
+
+    def test_undo_restores(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(equals("memo", "BAD"))
+        statement = rewriter.undo()
+        assert statement == self.STATEMENT
+
+    def test_stacked_cleanings_lifo(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(equals("memo", "BAD"))
+        rewriter.apply(equals("state", "ZZ"))
+        assert len(rewriter.applied) == 2
+        rewriter.undo()
+        assert [p.describe() for p in rewriter.applied] == ["memo = 'BAD'"]
+
+    def test_reset(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(equals("memo", "BAD"))
+        rewriter.reset()
+        assert rewriter.applied == ()
+        assert rewriter.current_statement() == self.STATEMENT
+
+    def test_duplicate_apply_rejected(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        predicate = equals("memo", "BAD")
+        rewriter.apply(predicate)
+        with pytest.raises(SessionError):
+            rewriter.apply(predicate)
+
+    def test_true_predicate_rejected(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        with pytest.raises(SessionError):
+            rewriter.apply(Predicate.true())
+
+    def test_undo_without_apply_rejected(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        with pytest.raises(SessionError):
+            rewriter.undo()
+
+    def test_rewritten_sql_reparses(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(
+            Predicate([CategoricalClause("memo", frozenset(["A", "B"]))])
+        )
+        reparsed = parse_select(rewriter.sql())
+        assert reparsed == rewriter.current_statement()

@@ -1,0 +1,152 @@
+"""Figure-level integration tests: the paper's walkthroughs end to end.
+
+These assert the *shapes* DESIGN.md commits to for each figure:
+
+* F4  — a few windows exhibit stddev far above typical; zooming exposes
+  tuples above 100°F from few sensors.
+* F6  — ranked predicates implicate the failing sensors / low voltage and
+  applying the top one drives ε to ~0.
+* F7  — FEC daily totals show a negative spike; the top predicate is the
+  REATTRIBUTION memo; applying it removes the negative mass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FECConfig,
+    IntelConfig,
+    REATTRIBUTION_MEMO,
+    generate_fec,
+    generate_intel,
+    walkthrough_query,
+)
+from repro.db import Database
+from repro.frontend import Brush, DBWipesSession
+
+
+@pytest.fixture(scope="module")
+def intel_session():
+    table, truth = generate_intel(
+        IntelConfig(duration_minutes=480, interval_minutes=2.0, n_sensors=30,
+                    failing_sensors=(15, 18), failure_onset_frac=0.75)
+    )
+    db = Database()
+    db.register(table)
+    session = DBWipesSession(db)
+    session.execute(
+        "SELECT minute / 30 AS w, avg(temp) AS avg_temp, stddev(temp) AS std_temp "
+        "FROM readings GROUP BY minute / 30 ORDER BY w"
+    )
+    return session, truth
+
+
+@pytest.fixture(scope="module")
+def fec_session():
+    table, truth = generate_fec(FECConfig())
+    db = Database()
+    db.register(table)
+    session = DBWipesSession(db)
+    session.execute(walkthrough_query("MCCAIN"))
+    return session, truth
+
+
+class TestFigure4SensorWindows:
+    def test_high_stddev_windows_exist_and_are_minority(self, intel_session):
+        session, __ = intel_session
+        std = np.asarray(session.result.column("std_temp"))
+        typical = float(np.median(std))
+        high = std > 4 * typical
+        assert 0 < high.sum() < len(std) / 2
+
+    def test_zoom_exposes_100_degree_tuples(self, intel_session):
+        session, truth = intel_session
+        std = np.asarray(session.result.column("std_temp"))
+        session.select_results(Brush.above(4 * float(np.median(std))), y="std_temp")
+        zoomed = session.zoom()
+        hot = zoomed.y > 100.0
+        assert hot.sum() > 0
+        # The hot tuples come from exactly the failing sensors.
+        hot_tids = zoomed.keys[hot]
+        labels = set(int(t) for t in truth.tids)
+        assert all(int(t) in labels for t in hot_tids)
+
+
+class TestFigure6RankedPredicates:
+    def test_top_predicate_fixes_error_and_names_cause(self, intel_session):
+        session, truth = intel_session
+        std = np.asarray(session.result.column("std_temp"))
+        session.select_results(Brush.above(4 * float(np.median(std))), y="std_temp")
+        session.zoom()
+        session.select_inputs(Brush.above(100.0))
+        session.set_metric("too_high", agg_name="std_temp")
+        report = session.debug()
+        assert len(report) >= 3
+        best = report.best
+        assert best.relative_error_reduction > 0.95
+        mentioned = set()
+        for ranked in report.top(8):
+            mentioned |= ranked.predicate.columns()
+        # The panel collectively implicates the physical signals.
+        assert {"temp", "voltage"} & mentioned
+
+    def test_applying_top_predicate_restores_normal_stddev(self, intel_session):
+        session, __ = intel_session
+        std = np.asarray(session.result.column("std_temp"))
+        cutoff = 4 * float(np.median(std))
+        session.select_results(Brush.above(cutoff), y="std_temp")
+        session.zoom()
+        session.select_inputs(Brush.above(100.0))
+        session.set_metric("too_high", agg_name="std_temp")
+        session.debug()
+        result = session.apply_predicate(0)
+        new_std = np.asarray(result.column("std_temp"))
+        assert new_std.max() <= cutoff
+        session.undo_cleaning()
+
+
+class TestFigure7FECSpike:
+    def test_negative_spike_visible(self, fec_session):
+        session, __ = fec_session
+        totals = np.asarray(session.result.column("total"))
+        assert totals.min() < 0
+        assert (totals < 0).sum() <= 10  # localized dip, not global
+
+    def test_reattribution_predicate_in_top_ranks(self, fec_session):
+        session, truth = fec_session
+        session.select_results(Brush.below(0.0))
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        report = session.debug()
+        # The memo description must be among the top predicates and fully
+        # fix the error (the walkthrough's "one of which includes several
+        # references to the memo attribute").
+        top = report.top(5)
+        memo_entries = [
+            r for r in top if REATTRIBUTION_MEMO in r.predicate.to_sql()
+        ]
+        assert memo_entries
+        assert memo_entries[0].relative_error_reduction > 0.95
+
+    def test_clicking_removes_negative_mass(self, fec_session):
+        session, __ = fec_session
+        totals_before = np.asarray(session.result.column("total"))
+        negative_before = float(np.minimum(totals_before, 0).sum())
+        session.select_results(Brush.below(0.0))
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        session.debug()
+        result = session.apply_predicate(0)
+        totals_after = np.asarray(result.column("total"))
+        negative_after = float(np.minimum(totals_after, 0).sum())
+        # "A significant fraction of the negative value disappears."
+        assert negative_after > 0.1 * negative_before
+        assert "NOT" in session.current_sql()
+        session.undo_cleaning()
+
+    def test_dashboard_story(self, fec_session):
+        session, __ = fec_session
+        text = session.dashboard()
+        assert "sum(amount)" in text

@@ -1,0 +1,238 @@
+"""Tests for repro.db.predicate: clauses, masks, simplification, SQL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    CategoricalClause,
+    Database,
+    NumericClause,
+    Predicate,
+    Table,
+    equals,
+    in_set,
+    interval,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "x": [1.0, 2.0, 3.0, 4.0, float("nan")],
+            "k": ["a", "b", "a", None, "c"],
+        },
+        types={"x": "float", "k": "str"},
+    )
+
+
+class TestNumericClause:
+    def test_requires_a_bound(self):
+        with pytest.raises(SchemaError):
+            NumericClause("x")
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(SchemaError):
+            NumericClause("x", 5.0, 1.0)
+
+    def test_mask_half_open_default(self, table):
+        clause = NumericClause("x", 2.0, 4.0)  # [2, 4)
+        assert clause.mask(table).tolist() == [False, True, True, False, False]
+
+    def test_mask_inclusive_both(self, table):
+        clause = NumericClause("x", 2.0, 4.0, True, True)
+        assert clause.mask(table).tolist() == [False, True, True, True, False]
+
+    def test_mask_exclusive_lo(self, table):
+        clause = NumericClause("x", 2.0, None, lo_inclusive=False)
+        assert clause.mask(table).tolist() == [False, False, True, True, False]
+
+    def test_nan_never_matches(self, table):
+        clause = NumericClause("x", None, 100.0, hi_inclusive=True)
+        assert not clause.mask(table)[4]
+
+    def test_describe(self):
+        assert NumericClause("x", 1.0, 2.0).describe() == "1 <= x < 2"
+        assert NumericClause("x", None, 2.5, hi_inclusive=True).describe() == "x <= 2.5"
+
+    def test_intersect_narrows(self):
+        a = NumericClause("x", 0.0, 10.0)
+        b = NumericClause("x", 5.0, 20.0)
+        merged = a.intersect(b)
+        assert merged.lo == 5.0 and merged.hi == 10.0
+
+    def test_intersect_empty_returns_none(self):
+        a = NumericClause("x", 0.0, 1.0)
+        b = NumericClause("x", 2.0, 3.0)
+        assert a.intersect(b) is None
+
+    def test_intersect_point_boundary(self):
+        a = NumericClause("x", None, 2.0, hi_inclusive=True)
+        b = NumericClause("x", 2.0, None, lo_inclusive=True)
+        merged = a.intersect(b)
+        assert merged is not None
+        assert merged.lo == merged.hi == 2.0
+
+    def test_intersect_open_boundary_is_empty(self):
+        a = NumericClause("x", None, 2.0, hi_inclusive=False)
+        b = NumericClause("x", 2.0, None, lo_inclusive=True)
+        assert a.intersect(b) is None
+
+    def test_intersect_cross_column_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericClause("x", 0.0, 1.0).intersect(NumericClause("y", 0.0, 1.0))
+
+
+class TestCategoricalClause:
+    def test_requires_values(self):
+        with pytest.raises(SchemaError):
+            CategoricalClause("k", frozenset())
+
+    def test_mask(self, table):
+        clause = CategoricalClause("k", frozenset(["a"]))
+        assert clause.mask(table).tolist() == [True, False, True, False, False]
+
+    def test_negated_mask_includes_none(self, table):
+        clause = CategoricalClause("k", frozenset(["a"]), negated=True)
+        assert clause.mask(table).tolist() == [False, True, False, True, True]
+
+    def test_intersect_positive_positive(self):
+        a = CategoricalClause("k", frozenset(["a", "b"]))
+        b = CategoricalClause("k", frozenset(["b", "c"]))
+        assert a.intersect(b).values == frozenset(["b"])
+
+    def test_intersect_disjoint_returns_none(self):
+        a = CategoricalClause("k", frozenset(["a"]))
+        b = CategoricalClause("k", frozenset(["b"]))
+        assert a.intersect(b) is None
+
+    def test_intersect_positive_negative(self):
+        a = CategoricalClause("k", frozenset(["a", "b"]))
+        b = CategoricalClause("k", frozenset(["b"]), negated=True)
+        assert a.intersect(b).values == frozenset(["a"])
+
+    def test_intersect_negative_negative_unions(self):
+        a = CategoricalClause("k", frozenset(["a"]), negated=True)
+        b = CategoricalClause("k", frozenset(["b"]), negated=True)
+        merged = a.intersect(b)
+        assert merged.negated and merged.values == frozenset(["a", "b"])
+
+    def test_describe_single_and_set(self):
+        assert CategoricalClause("k", frozenset(["a"])).describe() == "k = 'a'"
+        multi = CategoricalClause("k", frozenset(["a", "b"])).describe()
+        assert multi.startswith("k in ")
+
+
+class TestPredicate:
+    def test_true_predicate(self, table):
+        assert Predicate.true().is_true
+        assert Predicate.true().mask(table).all()
+        assert Predicate.true().describe() == "TRUE"
+
+    def test_conjunction_mask(self, table):
+        # x >= 2 matches rows 1,2,3; k in {a,b} matches rows 0,1,2.
+        predicate = Predicate(
+            [
+                NumericClause("x", 2.0, None),
+                CategoricalClause("k", frozenset(["a", "b"])),
+            ]
+        )
+        assert predicate.mask(table).tolist() == [False, True, True, False, False]
+
+    def test_matching_tids(self, table):
+        predicate = equals("k", "a")
+        assert predicate.matching_tids(table).tolist() == [0, 2]
+
+    def test_complexity_counts_bounds_and_values(self):
+        predicate = Predicate(
+            [
+                NumericClause("x", 1.0, 2.0),
+                CategoricalClause("k", frozenset(["a", "b", "c"])),
+            ]
+        )
+        assert predicate.complexity == 5
+
+    def test_simplify_merges_same_column(self):
+        predicate = Predicate(
+            [NumericClause("x", 0.0, 10.0), NumericClause("x", 5.0, None)]
+        )
+        simplified = predicate.simplify()
+        assert len(simplified.clauses) == 1
+        assert simplified.clauses[0].lo == 5.0
+
+    def test_simplify_unsat_returns_none(self):
+        predicate = Predicate(
+            [
+                CategoricalClause("k", frozenset(["a"])),
+                CategoricalClause("k", frozenset(["b"])),
+            ]
+        )
+        assert predicate.simplify() is None
+
+    def test_equality_order_insensitive(self):
+        p1 = Predicate([NumericClause("x", 0.0, 1.0), equals("k", "a").clauses[0]])
+        p2 = Predicate([equals("k", "a").clauses[0], NumericClause("x", 0.0, 1.0)])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_convenience_builders(self, table):
+        assert equals("x", 2.0).mask(table).tolist() == [
+            False, True, False, False, False,
+        ]
+        assert in_set("k", ["a", "c"]).mask(table).sum() == 3
+        assert interval("x", 3.0).mask(table).tolist() == [
+            False, False, True, True, False,
+        ]
+
+
+class TestSqlRoundTrip:
+    """Predicates rendered to SQL and re-executed must select the same rows."""
+
+    def _roundtrip(self, predicate, table):
+        db = Database()
+        db.register(table, "t")
+        sql = f"SELECT x, k FROM t WHERE {predicate.to_sql()}"
+        result = db.sql(sql)
+        expected = predicate.mask(table)
+        assert result.num_rows == int(expected.sum())
+
+    def test_numeric_roundtrip(self, table):
+        self._roundtrip(interval("x", 1.5, 3.5), table)
+
+    def test_categorical_roundtrip(self, table):
+        self._roundtrip(in_set("k", ["a", "b"]), table)
+
+    def test_negated_roundtrip(self, table):
+        predicate = Predicate(
+            [CategoricalClause("k", frozenset(["a"]), negated=True)]
+        )
+        self._roundtrip(predicate, table)
+
+    def test_negated_expr_complement(self, table):
+        predicate = interval("x", 2.0, 3.5)
+        mask = predicate.mask(table)
+        negated = predicate.negated_expr().eval(table)
+        assert (mask ^ negated).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lo=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        width=st.floats(min_value=0.1, max_value=40, allow_nan=False),
+        lo_inc=st.booleans(),
+        hi_inc=st.booleans(),
+    )
+    def test_interval_mask_matches_sql_property(self, lo, width, lo_inc, hi_inc):
+        rng = np.random.default_rng(0)
+        table = Table.from_columns(
+            {"x": rng.uniform(-60, 60, 100)}, types={"x": "float"}
+        )
+        predicate = Predicate(
+            [NumericClause("x", lo, lo + width, lo_inc, hi_inc)]
+        )
+        db = Database()
+        db.register(table, "t")
+        result = db.sql(f"SELECT x FROM t WHERE {predicate.to_sql()}")
+        assert result.num_rows == int(predicate.mask(table).sum())

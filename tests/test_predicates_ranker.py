@@ -1,0 +1,137 @@
+"""Tests for the Predicate Enumerator and Predicate Ranker stages."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetEnumerator,
+    PredicateEnumerator,
+    PredicateRanker,
+    Preprocessor,
+    RankerWeights,
+    TooHigh,
+    TreeStrategy,
+)
+from repro.db import Database
+from repro.errors import PipelineError
+
+
+@pytest.fixture
+def stage_setup():
+    rng = np.random.default_rng(21)
+    n = 200
+    sensor = np.concatenate([rng.integers(1, 6, 170), np.full(30, 9)])
+    temp = np.concatenate([rng.uniform(18, 24, 170), rng.uniform(100, 120, 30)])
+    db = Database()
+    db.create_table(
+        "r",
+        {"sensorid": sensor, "temp": temp, "g": np.zeros(n, dtype=np.int64)},
+        types={"sensorid": "int", "temp": "float", "g": "int"},
+    )
+    result = db.sql("SELECT g, avg(temp) AS m FROM r GROUP BY g")
+    pre = Preprocessor().run(result, [0], TooHigh(30.0))
+    candidates = DatasetEnumerator().run(pre, np.arange(170, 200))
+    return pre, candidates
+
+
+class TestPredicateEnumerator:
+    def test_produces_rules_per_candidate(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        assert rules
+        assert {r.candidate_index for r in rules} <= set(range(len(candidates)))
+
+    def test_strategy_sources_recorded(self, stage_setup):
+        pre, candidates = stage_setup
+        strategies = (
+            TreeStrategy(criterion="gini"),
+            TreeStrategy(criterion="entropy"),
+        )
+        rules = PredicateEnumerator(strategies=strategies).run(pre, candidates)
+        sources = {r.rule.source for r in rules}
+        assert any(s.startswith("tree:gini") for s in sources)
+
+    def test_rep_pruning_strategy_runs(self, stage_setup):
+        pre, candidates = stage_setup
+        strategies = (TreeStrategy(criterion="gini", prune="rep"),)
+        rules = PredicateEnumerator(strategies=strategies, seed=3).run(pre, candidates)
+        assert rules
+
+    def test_feature_restriction(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator(feature_columns=("sensorid",)).run(pre, candidates)
+        for candidate_rule in rules:
+            if candidate_rule.rule.source.startswith("tree"):
+                assert candidate_rule.rule.predicate.columns() <= {"sensorid"}
+
+    def test_weight_by_influence(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator(weight_by_influence=True).run(pre, candidates)
+        assert rules
+
+    def test_requires_strategies(self):
+        with pytest.raises(PipelineError):
+            PredicateEnumerator(strategies=())
+
+    def test_validation_fraction_bounds(self):
+        with pytest.raises(PipelineError):
+            PredicateEnumerator(validation_fraction=0.0)
+
+
+class TestPredicateRanker:
+    def test_rank_order_is_descending_score(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        ranked = PredicateRanker().run(pre, candidates, rules)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_predicate_fixes_error(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        ranked = PredicateRanker().run(pre, candidates, rules)
+        best = ranked[0]
+        assert best.epsilon_after < best.epsilon_before
+        assert best.relative_error_reduction > 0.9
+
+    def test_components_populated(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        ranked = PredicateRanker().run(pre, candidates, rules)
+        for entry in ranked:
+            assert entry.n_matched > 0
+            assert 0 <= entry.accuracy <= 1
+            assert entry.complexity >= 1
+            assert entry.candidate_origin
+            assert entry.source
+
+    def test_complexity_penalty_breaks_ties(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        heavy_penalty = PredicateRanker(
+            weights=RankerWeights(error=1.0, accuracy=0.0, complexity=10.0)
+        ).run(pre, candidates, rules)
+        # With a crushing complexity weight, the top predicate must be
+        # among the simplest available.
+        min_complexity = min(r.complexity for r in heavy_penalty)
+        assert heavy_penalty[0].complexity == min_complexity
+
+    def test_nonpositive_error_reduction_dropped(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        ranked = PredicateRanker(drop_nonpositive_error=True).run(
+            pre, candidates, rules
+        )
+        for entry in ranked:
+            assert entry.error_reduction > 0
+
+    def test_duplicate_predicates_deduped(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        ranked = PredicateRanker().run(pre, candidates, rules)
+        predicates = [r.predicate for r in ranked]
+        assert len(predicates) == len(set(predicates))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(PipelineError):
+            RankerWeights(error=-1.0)

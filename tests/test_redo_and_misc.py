@@ -1,0 +1,114 @@
+"""Tests for redo support and assorted public-API details."""
+
+import numpy as np
+import pytest
+
+from repro.db import equals, parse_select
+from repro.errors import SessionError
+from repro.frontend import Brush, DBWipesSession, QueryRewriter
+
+
+class TestRewriterRedo:
+    STATEMENT = parse_select("SELECT day, sum(amount) AS t FROM c GROUP BY day")
+
+    def test_undo_then_redo_restores(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        predicate = equals("memo", "BAD")
+        applied = rewriter.apply(predicate)
+        rewriter.undo()
+        assert not rewriter.applied
+        redone = rewriter.redo()
+        assert redone == applied
+        assert rewriter.applied == (predicate,)
+
+    def test_apply_clears_redo_stack(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(equals("memo", "A"))
+        rewriter.undo()
+        assert rewriter.can_redo
+        rewriter.apply(equals("memo", "B"))
+        assert not rewriter.can_redo
+        with pytest.raises(SessionError):
+            rewriter.redo()
+
+    def test_redo_without_undo_rejected(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        with pytest.raises(SessionError):
+            rewriter.redo()
+
+    def test_multi_level_undo_redo(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        a, b = equals("memo", "A"), equals("memo", "B")
+        rewriter.apply(a)
+        rewriter.apply(b)
+        rewriter.undo()
+        rewriter.undo()
+        rewriter.redo()
+        assert rewriter.applied == (a,)
+        rewriter.redo()
+        assert rewriter.applied == (a, b)
+
+    def test_reset_clears_redo(self):
+        rewriter = QueryRewriter(self.STATEMENT)
+        rewriter.apply(equals("memo", "A"))
+        rewriter.undo()
+        rewriter.reset()
+        assert not rewriter.can_redo
+
+
+class TestSessionRedo:
+    def test_session_redo_roundtrip(self, donations_db):
+        session = DBWipesSession(donations_db)
+        session.execute(
+            "SELECT day, sum(amount) AS total FROM donations GROUP BY day "
+            "ORDER BY day"
+        )
+        totals = np.asarray(session.result.column("total"))
+        rows = [i for i in range(session.result.num_rows) if totals[i] < 0] or [
+            int(np.argmin(totals))
+        ]
+        session.select_results(rows)
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        session.debug()
+        cleaned = session.apply_predicate(0)
+        cleaned_rows = list(cleaned.iter_rows())
+        session.undo_cleaning()
+        redone = session.redo_cleaning()
+        assert list(redone.iter_rows()) == cleaned_rows
+        assert len(session.applied_predicates) == 1
+
+    def test_session_redo_requires_execute(self, donations_db):
+        session = DBWipesSession(donations_db)
+        with pytest.raises(SessionError):
+            session.redo_cleaning()
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports(self):
+        import repro.baselines
+        import repro.core
+        import repro.data
+        import repro.db
+        import repro.frontend
+        import repro.learn
+
+        for module in (repro.core, repro.data, repro.db, repro.frontend,
+                       repro.learn, repro.baselines):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    f"{module.__name__}.{name}"
+                )
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3

@@ -1,0 +1,88 @@
+"""Tests for repro.db.schema."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class TestColumn:
+    def test_valid_names(self):
+        Column("a", ColumnType.INT)
+        Column("snake_case_name", ColumnType.STR)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(SchemaError):
+            Column("1abc", ColumnType.INT)
+
+    def test_rejects_spaces(self):
+        with pytest.raises(SchemaError):
+            Column("a b", ColumnType.INT)
+
+    def test_str_rendering(self):
+        assert str(Column("temp", ColumnType.FLOAT)) == "temp FLOAT"
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        schema = Schema.of(a="int", b="float", c="str")
+        assert schema.names == ("a", "b", "c")
+        assert schema.type_of("b") is ColumnType.FLOAT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.STR)])
+
+    def test_unknown_column_error_lists_available(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(UnknownColumnError) as excinfo:
+            schema.column("b")
+        assert "a" in str(excinfo.value)
+
+    def test_contains(self):
+        schema = Schema.of(a="int")
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_index_of(self):
+        schema = Schema.of(a="int", b="str")
+        assert schema.index_of("b") == 1
+
+    def test_project_preserves_order_given(self):
+        schema = Schema.of(a="int", b="str", c="float")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_extend(self):
+        schema = Schema.of(a="int")
+        extended = schema.extend([Column("b", ColumnType.STR)])
+        assert extended.names == ("a", "b")
+        # Original unchanged.
+        assert schema.names == ("a",)
+
+    def test_extend_duplicate_rejected(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(SchemaError):
+            schema.extend([Column("a", ColumnType.STR)])
+
+    def test_numeric_and_categorical_names(self):
+        schema = Schema.of(a="int", b="str", c="float", d="bool")
+        assert schema.numeric_names() == ("a", "c")
+        assert schema.categorical_names() == ("b", "d")
+
+    def test_equality_and_hash(self):
+        s1 = Schema.of(a="int", b="str")
+        s2 = Schema.of(a="int", b="str")
+        s3 = Schema.of(b="str", a="int")
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3  # order matters
+
+    def test_iteration(self):
+        schema = Schema.of(a="int", b="str")
+        assert [c.name for c in schema] == ["a", "b"]
+        assert len(schema) == 2

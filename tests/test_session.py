@@ -1,0 +1,192 @@
+"""Tests for the DBWipesSession state machine (the Figure-1 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TooLow
+from repro.errors import SessionError
+from repro.frontend import Brush, DBWipesSession
+
+
+@pytest.fixture
+def session(donations_db):
+    return DBWipesSession(donations_db)
+
+
+QUERY = (
+    "SELECT day, sum(amount) AS total FROM donations WHERE candidate = 'B' "
+    "GROUP BY day ORDER BY day"
+)
+
+
+def negative_rows(result):
+    totals = np.asarray(result.column("total"))
+    rows = [i for i in range(result.num_rows) if totals[i] < 0]
+    return rows or [int(np.argmin(totals))]
+
+
+class TestStateMachine:
+    def test_methods_require_execute_first(self, session):
+        with pytest.raises(SessionError):
+            __ = session.result
+        with pytest.raises(SessionError):
+            session.select_results([0])
+        with pytest.raises(SessionError):
+            session.current_sql()
+
+    def test_zoom_requires_selection(self, session):
+        session.execute(QUERY)
+        with pytest.raises(SessionError):
+            session.zoom()
+
+    def test_select_inputs_requires_zoom(self, session):
+        session.execute(QUERY)
+        session.select_results([0])
+        with pytest.raises(SessionError):
+            session.select_inputs([0])
+
+    def test_debug_requires_selection_and_metric(self, session):
+        session.execute(QUERY)
+        with pytest.raises(SessionError):
+            session.debug()
+        session.select_results([0])
+        with pytest.raises(SessionError):
+            session.debug()
+
+    def test_error_form_requires_selection(self, session):
+        session.execute(QUERY)
+        with pytest.raises(SessionError):
+            session.error_form()
+
+    def test_report_requires_debug(self, session):
+        session.execute(QUERY)
+        with pytest.raises(SessionError):
+            __ = session.report
+
+    def test_out_of_range_selection_rejected(self, session):
+        session.execute(QUERY)
+        with pytest.raises(SessionError):
+            session.select_results([9999])
+
+    def test_new_query_resets_selection(self, session):
+        session.execute(QUERY)
+        session.select_results([0])
+        session.execute(QUERY)
+        assert session.selected_rows == ()
+
+
+class TestSelections:
+    def test_select_by_indices(self, session):
+        session.execute(QUERY)
+        assert session.select_results([0, 2]) == (0, 2)
+
+    def test_select_by_brush(self, session):
+        session.execute(QUERY)
+        rows = session.select_results(Brush.below(0.0))
+        totals = np.asarray(session.result.column("total"))
+        assert all(totals[r] < 0 for r in rows)
+
+    def test_zoom_axes_default_to_group_key_and_agg_arg(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        zoomed = session.zoom()
+        assert zoomed.x_label == "day"
+        assert zoomed.y_label == "amount"
+        assert zoomed.kind == "tuples"
+
+    def test_select_inputs_by_brush(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        session.zoom()
+        tids = session.select_inputs(Brush.below(0.0))
+        assert len(tids) > 0
+
+    def test_select_inputs_by_tids_validated(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        session.zoom()
+        with pytest.raises(SessionError):
+            session.select_inputs([10**9])
+
+    def test_render_highlights_selection(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        assert "#" in session.render()
+
+
+class TestDebugAndClean:
+    def _run_to_report(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        return session.debug()
+
+    def test_full_loop_produces_report(self, session):
+        report = self._run_to_report(session)
+        assert len(report) > 0
+        assert session.report is report
+
+    def test_error_form_offers_sum_metrics(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        ids = [o.form_id for o in session.error_form()]
+        assert "too_low" in ids
+
+    def test_set_metric_accepts_instance(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        metric = session.set_metric(TooLow(0.0))
+        assert metric.threshold == 0.0
+
+    def test_set_metric_unknown_form_rejected(self, session):
+        result = session.execute(QUERY)
+        session.select_results(negative_rows(result))
+        with pytest.raises(SessionError):
+            session.set_metric("nope")
+
+    def test_apply_predicate_rewrites_and_reexecutes(self, session):
+        self._run_to_report(session)
+        before = float(
+            np.minimum(np.asarray(session.result.column("total")), 0).sum()
+        )
+        result = session.apply_predicate(0)
+        after = float(np.minimum(np.asarray(result.column("total")), 0).sum())
+        assert after > before  # negative mass shrank
+        assert "NOT" in session.current_sql()
+        assert len(session.applied_predicates) == 1
+
+    def test_apply_clears_selection(self, session):
+        self._run_to_report(session)
+        session.apply_predicate(0)
+        assert session.selected_rows == ()
+
+    def test_undo_cleaning_restores_result(self, session):
+        self._run_to_report(session)
+        original_rows = session.result.num_rows
+        original_total = float(np.asarray(session.result.column("total")).sum())
+        session.apply_predicate(0)
+        restored = session.undo_cleaning()
+        assert restored.num_rows == original_rows
+        assert float(np.asarray(restored.column("total")).sum()) == pytest.approx(
+            original_total
+        )
+
+    def test_apply_bad_index_rejected(self, session):
+        self._run_to_report(session)
+        with pytest.raises(SessionError):
+            session.apply_predicate(999)
+
+    def test_dashboard_renders_all_panels(self, session):
+        self._run_to_report(session)
+        text = session.dashboard()
+        assert "Query" in text
+        assert "Ranked Predicates" in text
+
+    def test_report_survives_after_selection_change(self, session):
+        self._run_to_report(session)
+        session.select_results([0])
+        # Selecting new results invalidates the report by design.
+        with pytest.raises(SessionError):
+            __ = session.report

@@ -1,0 +1,150 @@
+"""Additional session and frontend coverage: PCA axes, min/max/count
+debugging, sum-combined metrics, and multi-brush selections."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotEqual, RankedProvenance, TooHigh, TooLow
+from repro.db import Database
+from repro.frontend import Brush, DBWipesSession
+
+
+@pytest.fixture
+def retail_db():
+    """Order lines where one store's max price is corrupted upward and a
+    category's order count is inflated."""
+    rng = np.random.default_rng(8)
+    n = 600
+    store = rng.integers(1, 7, n)
+    price = np.round(rng.uniform(5, 80, n), 2)
+    category = np.array(
+        [["food", "toys", "tools"][i] for i in rng.integers(0, 3, n)],
+        dtype=object,
+    )
+    # Corruption: store 4 got a batch of 9999-priced rows.
+    bad = rng.choice(np.flatnonzero(store == 4), 10, replace=False)
+    price[bad] = np.round(rng.uniform(9000, 9999, 10), 2)
+    db = Database()
+    db.create_table(
+        "orders",
+        {"store": store, "price": price, "category": list(category)},
+        types={"store": "int", "price": "float", "category": "str"},
+    )
+    return db, bad
+
+
+class TestOtherAggregatesEndToEnd:
+    def test_debug_max_aggregate(self, retail_db):
+        db, bad = retail_db
+        result = db.sql(
+            "SELECT store, max(price) AS peak FROM orders GROUP BY store "
+            "ORDER BY store"
+        )
+        peaks = np.asarray(result.column("peak"))
+        S = [i for i in range(result.num_rows) if peaks[i] > 1000]
+        report = RankedProvenance().debug(result, S, TooHigh(100.0),
+                                          dprime_tids=bad)
+        assert len(report) > 0
+        assert report.best.relative_error_reduction > 0.9
+        assert "price" in report.best.predicate.columns() or (
+            "store" in report.best.predicate.columns()
+        )
+
+    def test_debug_min_aggregate(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"g": [0, 0, 0, 1, 1, 1], "v": [5.0, 6.0, -40.0, 5.5, 6.5, 5.0]},
+            types={"g": "int", "v": "float"},
+        )
+        result = db.sql("SELECT g, min(v) AS lo FROM t GROUP BY g ORDER BY g")
+        report = RankedProvenance().debug(result, [0], TooLow(0.0),
+                                          dprime_tids=[2])
+        assert len(report) > 0
+        assert report.best.epsilon_after == 0.0
+
+    def test_debug_count_star(self):
+        db = Database()
+        rows = {"g": [0] * 50 + [1] * 10, "k": ["dup"] * 40 + ["ok"] * 20}
+        db.create_table("t", rows, types={"g": "int", "k": "str"})
+        result = db.sql("SELECT g, count(*) AS n FROM t GROUP BY g ORDER BY g")
+        report = RankedProvenance().debug(
+            result, [0], TooHigh(15.0), dprime_tids=list(range(40))
+        )
+        assert len(report) > 0
+        # Removing the duplicated-key tuples fixes the count.
+        assert report.best.epsilon_after <= report.best.epsilon_before
+
+    def test_sum_combined_metric_end_to_end(self, retail_db):
+        db, bad = retail_db
+        result = db.sql(
+            "SELECT store, avg(price) AS m FROM orders GROUP BY store "
+            "ORDER BY store"
+        )
+        values = np.asarray(result.column("m"))
+        S = list(range(result.num_rows))
+        metric = TooHigh(float(np.median(values)) + 10.0, combine="sum")
+        report = RankedProvenance().debug(result, S, metric, dprime_tids=bad)
+        assert report.epsilon > 0
+        if report.best is not None:
+            assert report.best.epsilon_after < report.epsilon
+
+    def test_not_equal_metric(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"g": [0, 0, 1, 1], "v": [10.0, 10.0, 10.0, 90.0]},
+            types={"g": "int", "v": "float"},
+        )
+        result = db.sql("SELECT g, avg(v) AS m FROM t GROUP BY g ORDER BY g")
+        report = RankedProvenance().debug(result, [0, 1], NotEqual(10.0),
+                                          dprime_tids=[3])
+        assert report.epsilon == pytest.approx(40.0)
+
+
+class TestSessionSelectionModes:
+    def test_multiple_brushes_union(self, retail_db):
+        db, __ = retail_db
+        session = DBWipesSession(db)
+        session.execute(
+            "SELECT store, avg(price) AS m FROM orders GROUP BY store "
+            "ORDER BY store"
+        )
+        rows = session.select_results(
+            [Brush.over_x(1, 1), Brush.over_x(6, 6)]
+        )
+        stores = {session.result.row(r)[0] for r in rows}
+        assert stores == {1, 6}
+
+    def test_categorical_x_axis_selection(self, retail_db):
+        db, __ = retail_db
+        session = DBWipesSession(db)
+        session.execute(
+            "SELECT category, count(*) AS n FROM orders GROUP BY category "
+            "ORDER BY category"
+        )
+        scatter = session.scatter()
+        assert scatter.x_categories == ("food", "tools", "toys")
+        rows = session.select_results(Brush.over_x(0, 0))
+        assert session.result.row(rows[0])[0] == "food"
+
+    def test_zoom_with_explicit_axes(self, retail_db):
+        db, __ = retail_db
+        session = DBWipesSession(db)
+        session.execute(
+            "SELECT store, max(price) AS peak FROM orders GROUP BY store "
+            "ORDER BY store"
+        )
+        session.select_results([3])
+        zoomed = session.zoom(x="price", y="price")
+        assert zoomed.x_label == "price"
+
+    def test_error_form_for_max(self, retail_db):
+        db, __ = retail_db
+        session = DBWipesSession(db)
+        session.execute(
+            "SELECT store, max(price) AS peak FROM orders GROUP BY store"
+        )
+        session.select_results([0])
+        ids = [o.form_id for o in session.error_form()]
+        assert ids[0] == "too_high"  # max leads with too-high

@@ -1,0 +1,232 @@
+"""Tests for the tokenizer and SQL parser."""
+
+import pytest
+
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.sqlparse import parse_select, tokenize
+from repro.db.sqlparse.ast_nodes import AggregateCall, Star
+from repro.db.sqlparse.tokens import TokenType
+from repro.errors import SQLSyntaxError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t")
+        kinds = [t.ttype for t in tokens]
+        assert kinds[-1] is TokenType.EOF
+        assert tokens[0].is_keyword("select")
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].value == "O'Brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [1, 2.5, 1000.0, 0.025]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != <> = < >")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["<=", ">=", "!=", "<>", "=", "<", ">"]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("SELECT a -- comment here\nFROM t")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["SELECT", "a", "FROM", "t"]
+
+    def test_unexpected_char_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT ~")
+        assert excinfo.value.position == 7
+
+
+class TestParserBasics:
+    def test_simple_aggregate(self):
+        stmt = parse_select("SELECT avg(temp) FROM sensors")
+        assert stmt.table == "sensors"
+        assert isinstance(stmt.items[0].value, AggregateCall)
+        assert stmt.items[0].value.func == "avg"
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT count(*) FROM t")
+        assert isinstance(stmt.items[0].value.arg, Star)
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_select("SELECT avg(x) AS m, sum(y) total FROM t")
+        assert stmt.items[0].alias == "m"
+        assert stmt.items[1].alias == "total"
+
+    def test_group_by_expression(self):
+        stmt = parse_select("SELECT time / 30, avg(t) FROM s GROUP BY time / 30")
+        key = stmt.group_by[0]
+        assert isinstance(key, Arithmetic)
+        assert key.op == "/"
+        # The select item must be structurally equal to the group key.
+        assert stmt.items[0].value == key
+
+    def test_multi_group_by(self):
+        stmt = parse_select("SELECT a, b, count(*) FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_where_precedence_or_of_ands(self):
+        stmt = parse_select("SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.operands[0], And)
+
+    def test_not_binds_tighter_than_and(self):
+        stmt = parse_select("SELECT x FROM t WHERE NOT a = 1 AND b = 2")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.operands[0], Not)
+
+    def test_parenthesized_boolean(self):
+        stmt = parse_select("SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.operands[1], Or)
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT x FROM t WHERE k IN ('a', 'b')")
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == ("a", "b")
+
+    def test_not_in(self):
+        stmt = parse_select("SELECT x FROM t WHERE k NOT IN (1, -2)")
+        assert stmt.where.negated
+        assert stmt.where.values == (1, -2)
+
+    def test_between(self):
+        stmt = parse_select("SELECT x FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, Between)
+
+    def test_not_between(self):
+        stmt = parse_select("SELECT x FROM t WHERE x NOT BETWEEN 1 AND 5")
+        assert stmt.where.negated
+
+    def test_like(self):
+        stmt = parse_select("SELECT x FROM t WHERE memo LIKE '%SPOUSE%'")
+        assert isinstance(stmt.where, Like)
+        assert stmt.where.pattern == "%SPOUSE%"
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_select("SELECT x FROM t WHERE a IS NULL")
+        assert isinstance(stmt.where, IsNull) and not stmt.where.negated
+        stmt = parse_select("SELECT x FROM t WHERE a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].value
+        assert expr.op == "+"
+        assert isinstance(expr.right, Arithmetic) and expr.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_select("SELECT x FROM t WHERE amount < -100")
+        assert isinstance(stmt.where, Comparison)
+
+    def test_having_order_limit(self):
+        stmt = parse_select(
+            "SELECT day, sum(v) AS s FROM t GROUP BY day "
+            "HAVING s > 10 ORDER BY day DESC LIMIT 5"
+        )
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+
+    def test_order_by_asc_default(self):
+        stmt = parse_select("SELECT a, count(*) FROM t GROUP BY a ORDER BY a ASC")
+        assert not stmt.order_by[0].descending
+
+    def test_scalar_function_call(self):
+        stmt = parse_select("SELECT abs(x) FROM t")
+        assert stmt.items[0].value.func_name == "abs"
+
+    def test_boolean_literals(self):
+        stmt = parse_select("SELECT x FROM t WHERE flag = TRUE")
+        assert isinstance(stmt.where.right, Literal)
+        assert stmt.where.right.value is True
+
+
+class TestParserErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t extra nonsense ,")
+
+    def test_keyword_as_table(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM WHERE")
+
+    def test_bad_limit(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t LIMIT -1")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t WHERE (a = 1")
+
+    def test_empty_in_list(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t WHERE a IN ()")
+
+
+class TestToSqlRoundTrip:
+    """parse(stmt.to_sql()) must equal stmt for representative queries."""
+
+    QUERIES = [
+        "SELECT avg(temp) FROM sensors",
+        "SELECT time / 30 AS window, avg(temp), stddev(temp) FROM s "
+        "GROUP BY time / 30 ORDER BY window",
+        "SELECT day, sum(amount) AS total FROM c WHERE candidate = 'MCCAIN' "
+        "GROUP BY day ORDER BY day",
+        "SELECT a, b, count(*) FROM t WHERE x BETWEEN 1 AND 2 GROUP BY a, b",
+        "SELECT k, max(v) FROM t WHERE k IN ('x', 'y') AND v IS NOT NULL "
+        "GROUP BY k HAVING max_v > 5 LIMIT 3",
+        "SELECT x FROM t WHERE NOT (a = 1 OR b LIKE 'z%')",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_roundtrip_fixpoint(self, query):
+        stmt = parse_select(query)
+        rendered = stmt.to_sql()
+        reparsed = parse_select(rendered)
+        assert reparsed == stmt
+        # And rendering again is a fixpoint.
+        assert reparsed.to_sql() == rendered
+
+    def test_with_extra_filter_and_undo(self):
+        stmt = parse_select("SELECT a, sum(v) FROM t WHERE a > 0 GROUP BY a")
+        condition = Not(Comparison("=", ColumnRef("k"), Literal("bad")))
+        extended = stmt.with_extra_filter(condition)
+        assert "NOT" in extended.to_sql()
+        restored = extended.without_filter(condition)
+        assert restored == stmt
+
+    def test_without_filter_missing_raises(self):
+        stmt = parse_select("SELECT a, sum(v) FROM t GROUP BY a")
+        with pytest.raises(ValueError):
+            stmt.without_filter(Literal(True))
+
+    def test_cleaning_filters_property(self):
+        stmt = parse_select("SELECT a, sum(v) FROM t WHERE a > 0 GROUP BY a")
+        condition = Not(Comparison("=", ColumnRef("k"), Literal("bad")))
+        extended = stmt.with_extra_filter(condition)
+        assert extended.cleaning_filters == (condition,)

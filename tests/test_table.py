@@ -1,0 +1,182 @@
+"""Tests for repro.db.table: the column store and stable tuple ids."""
+
+import numpy as np
+import pytest
+
+from repro.db import Column, ColumnType, Schema, Table
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_columns_infers_types(self, sensors_table):
+        assert sensors_table.schema.type_of("sensorid") is ColumnType.INT
+        assert sensors_table.schema.type_of("temp") is ColumnType.FLOAT
+        assert sensors_table.schema.type_of("room") is ColumnType.STR
+
+    def test_from_rows(self):
+        schema = Schema.of(a="int", b="str")
+        table = Table.from_rows(schema, [(1, "x"), (2, "y")])
+        assert table.row(1) == (2, "y")
+
+    def test_from_dicts_with_inference(self):
+        table = Table.from_dicts([{"a": 1, "b": "x"}, {"a": 2, "b": None}])
+        assert table.schema.type_of("a") is ColumnType.INT
+        assert table.row_dict(1) == {"a": 2, "b": None}
+
+    def test_from_dicts_empty_needs_schema(self):
+        with pytest.raises(SchemaError):
+            Table.from_dicts([])
+
+    def test_default_tids_sequential(self, sensors_table):
+        assert np.asarray(sensors_table.tids).tolist() == list(range(7))
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns({"a": [1, 2], "b": [1.0]})
+
+    def test_wrong_dtype_rejected(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(TypeMismatchError):
+            Table(schema, {"a": np.array([1.5, 2.5])})
+
+    def test_missing_column_rejected(self):
+        schema = Schema.of(a="int", b="int")
+        with pytest.raises(SchemaError):
+            Table(schema, {"a": np.array([1], dtype=np.int64)})
+
+    def test_tid_count_must_match(self):
+        schema = Schema.of(a="int")
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {"a": np.array([1, 2], dtype=np.int64)},
+                tids=np.array([0], dtype=np.int64),
+            )
+
+
+class TestAccess:
+    def test_column_is_readonly(self, sensors_table):
+        column = sensors_table.column("temp")
+        with pytest.raises(ValueError):
+            column[0] = 0.0
+
+    def test_tids_are_readonly(self, sensors_table):
+        with pytest.raises(ValueError):
+            np.asarray(sensors_table.tids)[0] = 99
+
+    def test_getitem(self, sensors_table):
+        assert sensors_table["sensorid"][0] == 1
+
+    def test_row_returns_python_values(self, sensors_table):
+        row = sensors_table.row(3)
+        assert row == (2, 31, 120.0, "b")
+        assert isinstance(row[0], int)
+        assert isinstance(row[2], float)
+
+    def test_iter_rows(self, sensors_table):
+        rows = list(sensors_table.iter_rows())
+        assert len(rows) == 7
+        assert rows[0][3] == "a"
+
+    def test_iter_dicts(self, sensors_table):
+        first = next(sensors_table.iter_dicts())
+        assert first["room"] == "a"
+
+
+class TestTidAddressing:
+    def test_position_of(self, sensors_table):
+        filtered = sensors_table.filter(sensors_table["temp"] > 21)
+        # Rows with temp > 21: original positions 2, 3, 4.
+        assert filtered.position_of(3) == 1
+
+    def test_positions_of_order_preserved(self, sensors_table):
+        positions = sensors_table.positions_of([4, 0])
+        assert positions.tolist() == [4, 0]
+
+    def test_position_of_missing_raises(self, sensors_table):
+        with pytest.raises(KeyError):
+            sensors_table.position_of(99)
+
+    def test_contains_tid(self, sensors_table):
+        assert sensors_table.contains_tid(6)
+        assert not sensors_table.contains_tid(7)
+
+    def test_take_tids(self, sensors_table):
+        sub = sensors_table.take_tids([5, 1])
+        assert np.asarray(sub.tids).tolist() == [5, 1]
+        assert sub.row(0)[2] == 19.5
+
+
+class TestTransformations:
+    def test_filter_preserves_tids(self, sensors_table):
+        hot = sensors_table.filter(sensors_table["temp"] > 100)
+        assert np.asarray(hot.tids).tolist() == [3]
+
+    def test_filter_wrong_length_rejected(self, sensors_table):
+        with pytest.raises(SchemaError):
+            sensors_table.filter(np.array([True, False]))
+
+    def test_exclude_tids(self, sensors_table):
+        rest = sensors_table.exclude_tids([0, 1, 2])
+        assert np.asarray(rest.tids).tolist() == [3, 4, 5, 6]
+
+    def test_project(self, sensors_table):
+        projected = sensors_table.project(["temp", "room"])
+        assert projected.schema.names == ("temp", "room")
+        assert len(projected) == 7
+        assert np.asarray(projected.tids).tolist() == list(range(7))
+
+    def test_with_column(self, sensors_table):
+        doubled = sensors_table.with_column(
+            Column("temp2", ColumnType.FLOAT),
+            np.asarray(sensors_table["temp"]) * 2,
+        )
+        assert doubled["temp2"][3] == 240.0
+        assert "temp2" not in sensors_table.schema
+
+    def test_concat_requires_same_schema(self, sensors_table):
+        other = sensors_table.project(["temp"])
+        with pytest.raises(SchemaError):
+            sensors_table.concat(other)
+
+    def test_concat_keeps_tids(self, sensors_table):
+        a = sensors_table.take([0, 1])
+        b = sensors_table.take([5])
+        combined = a.concat(b)
+        assert np.asarray(combined.tids).tolist() == [0, 1, 5]
+        assert len(combined) == 3
+
+    def test_sort_by(self, sensors_table):
+        by_temp = sensors_table.sort_by("temp")
+        temps = np.asarray(by_temp["temp"])
+        assert list(temps) == sorted(temps)
+
+    def test_sort_by_descending(self, sensors_table):
+        by_temp = sensors_table.sort_by("temp", descending=True)
+        assert by_temp["temp"][0] == 120.0
+
+    def test_sort_is_stable(self):
+        table = Table.from_columns({"k": [1, 1, 1], "v": [10, 20, 30]})
+        sorted_table = table.sort_by("k")
+        assert np.asarray(sorted_table["v"]).tolist() == [10, 20, 30]
+
+    def test_head(self, sensors_table):
+        assert len(sensors_table.head(3)) == 3
+        assert len(sensors_table.head(100)) == 7
+
+
+class TestDisplay:
+    def test_to_text_contains_header_and_null(self):
+        table = Table.from_columns(
+            {"a": [1.0, None]}, types={"a": "float"}
+        )
+        text = table.to_text()
+        assert "a" in text
+        assert "NULL" in text
+
+    def test_to_text_truncates(self, sensors_table):
+        text = sensors_table.to_text(max_rows=2)
+        assert "more rows" in text
+
+    def test_repr(self, sensors_table):
+        assert "7 rows" in repr(sensors_table)

@@ -1,0 +1,119 @@
+"""Tests for repro.db.types: inference, coercion, NULL handling."""
+
+import numpy as np
+import pytest
+
+from repro.db.types import (
+    ColumnType,
+    coerce_array,
+    infer_type,
+    is_null,
+    python_value,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestInferType:
+    def test_all_ints(self):
+        assert infer_type([1, 2, 3]) is ColumnType.INT
+
+    def test_ints_and_floats_promote_to_float(self):
+        assert infer_type([1, 2.5]) is ColumnType.FLOAT
+
+    def test_all_floats(self):
+        assert infer_type([1.0, 2.0]) is ColumnType.FLOAT
+
+    def test_strings(self):
+        assert infer_type(["a", "b"]) is ColumnType.STR
+
+    def test_bools(self):
+        assert infer_type([True, False]) is ColumnType.BOOL
+
+    def test_none_ignored_for_inference(self):
+        assert infer_type([None, 1.5, None]) is ColumnType.FLOAT
+
+    def test_all_none_is_str(self):
+        assert infer_type([None, None]) is ColumnType.STR
+
+    def test_mixed_str_and_number_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(["a", 1])
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([object()])
+
+    def test_numpy_scalars_accepted(self):
+        assert infer_type([np.int64(3), np.int64(4)]) is ColumnType.INT
+        assert infer_type([np.float64(3.5)]) is ColumnType.FLOAT
+        assert infer_type([np.bool_(True)]) is ColumnType.BOOL
+
+
+class TestCoerceArray:
+    def test_float_column_stores_none_as_nan(self):
+        out = coerce_array([1.0, None, 3.0], ColumnType.FLOAT)
+        assert out.dtype == np.float64
+        assert np.isnan(out[1])
+
+    def test_int_column_rejects_none(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array([1, None], ColumnType.INT)
+
+    def test_int_column_accepts_integral_floats(self):
+        out = coerce_array([1, 2.0], ColumnType.INT)
+        assert out.tolist() == [1, 2]
+
+    def test_int_column_rejects_fractional_floats(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array([1.5], ColumnType.INT)
+
+    def test_bool_column_rejects_ints(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array([1], ColumnType.BOOL)
+
+    def test_numeric_columns_reject_bools(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array([True], ColumnType.INT)
+        with pytest.raises(TypeMismatchError):
+            coerce_array([True], ColumnType.FLOAT)
+
+    def test_str_column_keeps_none(self):
+        out = coerce_array(["x", None], ColumnType.STR)
+        assert out[1] is None
+
+    def test_str_column_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array([3], ColumnType.STR)
+
+    def test_empty_input(self):
+        out = coerce_array([], ColumnType.FLOAT)
+        assert len(out) == 0
+
+
+class TestNullsAndValues:
+    def test_is_null_none(self):
+        assert is_null(None)
+
+    def test_is_null_nan(self):
+        assert is_null(float("nan"))
+
+    def test_is_null_regular_values(self):
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(1.5)
+
+    def test_python_value_unwraps_numpy(self):
+        assert python_value(np.int64(3)) == 3
+        assert isinstance(python_value(np.int64(3)), int)
+        assert isinstance(python_value(np.float64(3.5)), float)
+        assert isinstance(python_value(np.bool_(True)), bool)
+
+    def test_python_value_passthrough(self):
+        assert python_value("x") == "x"
+        assert python_value(None) is None
+
+    def test_numeric_type_flags(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.STR.is_numeric
+        assert not ColumnType.BOOL.is_numeric
