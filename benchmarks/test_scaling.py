@@ -5,14 +5,21 @@ size |S|, measuring end-to-end ``debug()`` latency and bare query
 execution. Expected shape: near-linear growth in |F| — the pipeline's
 stages are all linear passes over F (influence via removable aggregates,
 condition-mask precomputation, tree building with capped thresholds).
+
+The grouped-kernel ablation compares the segmented vectorized kernels
+(`compute_grouped` / `leave_one_out_grouped` / `compute_without_grouped`)
+against the per-group Python loop they replaced, on the same data the
+scaling sweep uses.
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import RankedProvenance, TooHigh
 from repro.data import IntelConfig, generate_intel
-from repro.db import Database
+from repro.db import Database, SegmentedValues, get_aggregate
 
 ROWS_SWEEP = [5400, 21600, 43200]  # readings: 54 sensors x {100,400,800} epochs
 
@@ -68,6 +75,77 @@ def test_q2_query_execution_vs_rows(benchmark, rows):
         "FROM readings GROUP BY minute / 30 ORDER BY w",
     )
     assert result.num_rows > 0
+
+
+def _intel_segments(rows: int) -> SegmentedValues:
+    """Per-minute temperature segments of the intel table (many groups)."""
+    epochs = rows // 54
+    table, __ = generate_intel(
+        IntelConfig(
+            n_sensors=54,
+            duration_minutes=epochs * 2,
+            interval_minutes=2.0,
+            failing_sensors=(15, 18),
+            failure_onset_frac=0.7,
+        )
+    )
+    temps = np.asarray(table.column("temp"), dtype=np.float64)
+    minutes = np.asarray(table.column("minute"), dtype=np.float64)
+    uniques, codes = np.unique(minutes, return_inverse=True)
+    seg, __ = SegmentedValues.from_codes(temps, codes, len(uniques))
+    return seg
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("agg_name", ["avg", "stddev", "max"])
+def test_q2_grouped_kernels_vs_python_loop(agg_name):
+    """A1 ablation: the segmented kernels must beat the per-group loop.
+
+    Runs on the largest configured input size. `*_grouped_loop` is the
+    exact code shape the executor/influence/ranker hot paths used before
+    the segmented rewrite (one Python-level Aggregate call per group).
+    """
+    seg = _intel_segments(ROWS_SWEEP[-1])
+    assert seg.n_segments > 500  # many groups: the loop's worst case
+    agg = get_aggregate(agg_name)
+    rng = np.random.default_rng(0)
+    mask = rng.random(len(seg.values)) < 0.25
+
+    timings = {}
+    for kernel, grouped, loop in [
+        ("compute", agg.compute_grouped, agg.compute_grouped_loop),
+        ("leave_one_out", agg.leave_one_out_grouped, agg.leave_one_out_grouped_loop),
+    ]:
+        np.testing.assert_allclose(grouped(seg), loop(seg), rtol=1e-6, atol=1e-6)
+        timings[kernel] = (_best_of(lambda: grouped(seg)),
+                           _best_of(lambda: loop(seg)))
+    np.testing.assert_allclose(
+        agg.compute_without_grouped(seg, mask),
+        agg.compute_without_grouped_loop(seg, mask),
+        rtol=1e-6, atol=1e-6,
+    )
+    timings["compute_without"] = (
+        _best_of(lambda: agg.compute_without_grouped(seg, mask)),
+        _best_of(lambda: agg.compute_without_grouped_loop(seg, mask)),
+    )
+
+    report = ", ".join(
+        f"{kernel}: grouped={1000 * fast:.2f}ms loop={1000 * slow:.2f}ms "
+        f"({slow / fast:.0f}x)"
+        for kernel, (fast, slow) in timings.items()
+    )
+    print(f"\nA1 ablation [{agg_name}] |values|={len(seg.values)}, "
+          f"groups={seg.n_segments} -> {report}")
+    for kernel, (fast, slow) in timings.items():
+        assert fast < slow, f"{agg_name}/{kernel}: grouped kernel slower than loop"
 
 
 @pytest.mark.parametrize("n_selected", [1, 4, 8])

@@ -19,6 +19,7 @@ from .influence import (
     InfluenceResult,
     leave_one_out_influence,
     subset_epsilon,
+    subset_epsilon_grouped,
 )
 from .merger import PredicateMerger, hull
 from .pipeline import PipelineConfig, RankedProvenance
@@ -61,4 +62,5 @@ __all__ = [
     "leave_one_out_influence",
     "metric_from_form",
     "subset_epsilon",
+    "subset_epsilon_grouped",
 ]

@@ -20,9 +20,11 @@ use the metric's combine (see :func:`subset_epsilon`).
 
 Two implementations are provided:
 
-* **fast** — uses the removable-aggregate closed forms
-  (:meth:`~repro.db.aggregates.Aggregate.leave_one_out`) plus the
-  max/sum decomposition of the metric: O(|F|) total.
+* **fast** — one grouped pass over a
+  :class:`~repro.db.segments.SegmentedValues` holding every selected
+  group (:meth:`~repro.db.aggregates.Aggregate.leave_one_out_grouped`)
+  plus the max/sum decomposition of the metric: O(|F|) total with no
+  Python per-group loop.
 * **naive** — recomputes the aggregate from scratch per removal:
   O(|F|²) within each group. Exists for correctness testing and the A1
   ablation benchmark.
@@ -31,10 +33,12 @@ Two implementations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
 from ..db.aggregates import Aggregate
+from ..db.segments import SegmentedValues, as_segments
 from ..errors import PipelineError
 
 
@@ -78,10 +82,29 @@ class InfluenceResult:
         cutoff = float(np.quantile(self.scores[positive], quantile))
         return self.tids[positive & (self.scores >= cutoff)]
 
+    @cached_property
+    def _tid_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted_tids, matching_scores)`` for binary-search lookups.
+
+        Built once per result (``cached_property`` writes straight to
+        ``__dict__``, so it coexists with the frozen dataclass): callers
+        like the enumerator and ranker probe scores once per candidate
+        predicate, and rebuilding a dict each probe made scoring
+        O(|F|·|predicates|).
+        """
+        order = np.argsort(self.tids, kind="stable")
+        return self.tids[order], self.scores[order]
+
     def score_of(self, tids: np.ndarray) -> np.ndarray:
         """Influence scores for specific tids (0 for unknown tids)."""
-        lookup = {int(t): float(s) for t, s in zip(self.tids, self.scores)}
-        return np.array([lookup.get(int(t), 0.0) for t in tids], dtype=np.float64)
+        tids = np.asarray(tids, dtype=np.int64)
+        sorted_tids, sorted_scores = self._tid_index
+        if len(sorted_tids) == 0:
+            return np.zeros(len(tids), dtype=np.float64)
+        pos = np.searchsorted(sorted_tids, tids)
+        pos = np.minimum(pos, len(sorted_tids) - 1)
+        found = sorted_tids[pos] == tids
+        return np.where(found, sorted_scores[pos], 0.0)
 
 
 def leave_one_out_influence(
@@ -111,42 +134,50 @@ def leave_one_out_influence(
     """
     if len(group_values) != len(group_tids) or len(group_values) != len(rows):
         raise PipelineError("group_values, group_tids, and rows must align")
-    current = np.array(
-        [aggregate.compute(values) for values in group_values], dtype=np.float64
-    )
+    seg = as_segments(group_values)
+    if fast:
+        # One grouped pass over every selected group at once: current
+        # values, leave-one-out values, and per-value errors are all
+        # flat vectorized computations with no Python per-group loop.
+        current = aggregate.compute_grouped(seg)
+        loo_flat = aggregate.leave_one_out_grouped(seg)
+    else:
+        current = np.array(
+            [aggregate.compute(values) for values in group_values],
+            dtype=np.float64,
+        )
+        loo_flat = (
+            np.concatenate(
+                [aggregate.leave_one_out_naive(v) for v in group_values]
+            )
+            if len(group_values)
+            else np.empty(0, dtype=np.float64)
+        )
     epsilon = metric(current)
     phi = metric.per_value_error(current)
+    phi_new_flat = metric.per_value_error(loo_flat)
+    scores = phi[seg.segment_ids] - phi_new_flat
 
-    all_tids: list[np.ndarray] = []
-    all_scores: list[np.ndarray] = []
-    groups: list[GroupInfluence] = []
-    for g, (values, tids) in enumerate(zip(group_values, group_tids)):
-        if fast:
-            loo = aggregate.leave_one_out(values)
-        else:
-            loo = aggregate.leave_one_out_naive(values)
-        phi_new = metric.per_value_error(loo)
-        influence = phi[g] - phi_new
-        all_tids.append(np.asarray(tids, dtype=np.int64))
-        all_scores.append(influence)
-        groups.append(
-            GroupInfluence(
-                row=rows[g],
-                tids=np.asarray(tids, dtype=np.int64),
-                values=np.asarray(values, dtype=np.float64),
-                loo_values=loo,
-                influence=influence,
-                group_value=float(current[g]),
-            )
+    tids = (
+        np.concatenate([np.asarray(t, dtype=np.int64) for t in group_tids])
+        if len(group_tids)
+        else np.empty(0, dtype=np.int64)
+    )
+    loo_parts = seg.split_flat(loo_flat)
+    score_parts = seg.split_flat(scores)
+    groups = tuple(
+        GroupInfluence(
+            row=rows[g],
+            tids=np.asarray(group_tids[g], dtype=np.int64),
+            values=seg.segment(g),
+            loo_values=loo_parts[g],
+            influence=score_parts[g],
+            group_value=float(current[g]),
         )
-    if all_tids:
-        tids = np.concatenate(all_tids)
-        scores = np.concatenate(all_scores)
-    else:
-        tids = np.empty(0, dtype=np.int64)
-        scores = np.empty(0, dtype=np.float64)
+        for g in range(seg.n_segments)
+    )
     return InfluenceResult(
-        tids=tids, scores=scores, epsilon=epsilon, groups=tuple(groups)
+        tids=tids, scores=scores, epsilon=epsilon, groups=groups
     )
 
 
@@ -164,13 +195,31 @@ def subset_epsilon(
     """
     if len(group_values) != len(group_remove_masks):
         raise PipelineError("group_values and masks must align")
-    new_values = np.array(
-        [
-            aggregate.compute_without(values, mask)
-            for values, mask in zip(group_values, group_remove_masks)
-        ],
-        dtype=np.float64,
+    seg = as_segments(group_values)
+    remove_mask = (
+        np.concatenate(
+            [np.asarray(m, dtype=bool) for m in group_remove_masks]
+        )
+        if len(group_remove_masks)
+        else np.empty(0, dtype=bool)
     )
+    return subset_epsilon_grouped(seg, remove_mask, aggregate, metric)
+
+
+def subset_epsilon_grouped(
+    seg: SegmentedValues,
+    remove_mask: np.ndarray,
+    aggregate: Aggregate,
+    metric,
+) -> float:
+    """:func:`subset_epsilon` over an already-segmented selection.
+
+    The Ranker and Merger call this once per candidate predicate with a
+    single flat mask over the segment table, so the whole Δε preview is
+    one grouped :meth:`~repro.db.aggregates.Aggregate.compute_without_grouped`
+    pass.
+    """
+    new_values = aggregate.compute_without_grouped(seg, remove_mask)
     return metric(new_values)
 
 

@@ -25,7 +25,7 @@ from ..db.predicate import CategoricalClause, NumericClause, Predicate
 from ..errors import PipelineError
 from ..learn.metrics import confusion
 from .enumerator import CandidateSet
-from .influence import subset_epsilon
+from .influence import subset_epsilon_grouped
 from .preprocessor import PreprocessResult
 from .report import RankedPredicate
 
@@ -115,7 +115,6 @@ class PredicateMerger:
         """Insert winning merges into ``ranked`` (returned re-sorted)."""
         ranked = list(ranked)
         candidate_by_origin = {c.origin: c for c in candidates}
-        group_tables = [pre.F.take_tids(tids) for tids in pre.group_tids]
         for _ in range(self.max_rounds):
             best_merge: RankedPredicate | None = None
             merged_from: tuple[int, int] | None = None
@@ -129,7 +128,7 @@ class PredicateMerger:
                         continue
                     entry = self._score(
                         pre, candidate_by_origin.get(head[i].candidate_origin),
-                        group_tables, merged, head[i], head[j],
+                        merged, head[i], head[j],
                     )
                     if entry is None:
                         continue
@@ -150,7 +149,6 @@ class PredicateMerger:
         self,
         pre: PreprocessResult,
         candidate: CandidateSet | None,
-        group_tables,
         predicate: Predicate,
         parent_a: RankedPredicate,
         parent_b: RankedPredicate,
@@ -159,10 +157,10 @@ class PredicateMerger:
         n_matched = int(mask_f.sum())
         if n_matched == 0:
             return None
-        remove_masks = [predicate.mask(table) for table in group_tables]
+        remove_mask = predicate.mask(pre.segment_table)
         epsilon = pre.epsilon
-        epsilon_after = subset_epsilon(
-            list(pre.group_values), remove_masks, pre.aggregate, pre.metric
+        epsilon_after = subset_epsilon_grouped(
+            pre.segments, remove_mask, pre.aggregate, pre.metric
         )
         relative = (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0
         if relative <= 0:

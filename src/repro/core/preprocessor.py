@@ -13,11 +13,13 @@ expression so input values can be re-derived for any subset of tuples.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from ..db.aggregates import Aggregate, get_aggregate
 from ..db.result import ResultSet
+from ..db.segments import SegmentedValues
 from ..db.sqlparse.ast_nodes import AggregateCall, Star
 from ..db.table import Table
 from ..errors import PipelineError
@@ -51,19 +53,43 @@ class PreprocessResult:
         """ε of the current (uncleaned) selection."""
         return self.influence.epsilon
 
+    @cached_property
+    def segments(self) -> SegmentedValues:
+        """All selected groups' aggregate inputs as one segmented array.
+
+        This is the structure the grouped Δε kernels consume; it is
+        built once per debugging request and shared by the Ranker and
+        Merger across every candidate predicate.
+        """
+        return SegmentedValues.from_arrays(list(self.group_values))
+
+    @cached_property
+    def flat_tids(self) -> np.ndarray:
+        """Tids aligned with ``segments.values`` (groups concatenated)."""
+        if not self.group_tids:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.asarray(t, dtype=np.int64) for t in self.group_tids]
+        )
+
+    @cached_property
+    def segment_table(self) -> Table:
+        """Rows of F in segment order (one table, aligned with ``segments``).
+
+        Evaluating a predicate mask once against this table yields the
+        flat remove-mask for
+        :func:`~repro.core.influence.subset_epsilon_grouped` — one
+        evaluation per predicate instead of one per (predicate, group).
+        """
+        return self.F.take_tids(self.flat_tids)
+
     def group_masks_for_tids(self, tids: np.ndarray) -> list[np.ndarray]:
         """Per-group boolean masks marking which group tuples are in ``tids``."""
-        tid_set = set(int(t) for t in np.asarray(tids).ravel())
-        masks = []
-        for group_tids in self.group_tids:
-            masks.append(
-                np.fromiter(
-                    (int(t) in tid_set for t in group_tids),
-                    dtype=bool,
-                    count=len(group_tids),
-                )
-            )
-        return masks
+        wanted = np.unique(np.asarray(tids, dtype=np.int64).ravel())
+        return [
+            np.isin(np.asarray(group_tids, dtype=np.int64), wanted)
+            for group_tids in self.group_tids
+        ]
 
 
 class Preprocessor:
@@ -103,12 +129,15 @@ class Preprocessor:
         aggregate = get_aggregate(call.func)
         base = result.fine.base
 
+        # Evaluate the aggregate argument once over the whole post-WHERE
+        # base and gather per-group slices by position — no per-group
+        # table materialization or expression re-evaluation.
+        values_all = _agg_arg_values(call, base)
         group_values: list[np.ndarray] = []
         group_tids: list[np.ndarray] = []
         for row in selected:
             tids = result.fine.lineage(row)
-            group_table = base.take_tids(tids)
-            group_values.append(_agg_arg_values(call, group_table))
+            group_values.append(values_all[base.positions_of(tids)])
             group_tids.append(tids)
 
         influence = leave_one_out_influence(

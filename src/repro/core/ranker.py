@@ -24,7 +24,7 @@ from typing import Sequence
 from ..errors import PipelineError
 from ..learn.metrics import confusion
 from .enumerator import CandidateSet
-from .influence import subset_epsilon
+from .influence import subset_epsilon_grouped
 from .predicates import CandidateRule
 from .preprocessor import PreprocessResult
 from .report import RankedPredicate
@@ -73,9 +73,8 @@ class PredicateRanker:
         """Rank every enumerated predicate; best first."""
         epsilon = pre.epsilon
         ranked: list[RankedPredicate] = []
-        group_tables = [
-            pre.F.take_tids(tids) for tids in pre.group_tids
-        ]
+        segments = pre.segments
+        segment_table = pre.segment_table
         for candidate_rule in candidate_rules:
             candidate = candidates[candidate_rule.candidate_index]
             rule = candidate_rule.rule
@@ -83,12 +82,11 @@ class PredicateRanker:
             n_matched = int(mask_f.sum())
             if n_matched == 0:
                 continue
-            # Δε via removable aggregates, per selected group.
-            remove_masks = [
-                rule.predicate.mask(group_table) for group_table in group_tables
-            ]
-            epsilon_after = subset_epsilon(
-                list(pre.group_values), remove_masks, pre.aggregate, pre.metric
+            # Δε via grouped removable aggregates: one mask evaluation
+            # over the segment table, one grouped compute_without pass.
+            remove_mask = rule.predicate.mask(segment_table)
+            epsilon_after = subset_epsilon_grouped(
+                segments, remove_mask, pre.aggregate, pre.metric
             )
             relative_reduction = (
                 (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0

@@ -40,6 +40,14 @@ from .predicate import (
 from .provenance import CoarseProvenance, FineProvenance, OpNode
 from .result import ResultSet
 from .schema import Column, Schema
+from .segments import (
+    SegmentedValues,
+    as_segments,
+    segment_count,
+    segment_max,
+    segment_min,
+    segment_sum,
+)
 from .sqlparse import SelectStatement, parse_select
 from .table import Table
 from .types import ColumnType
@@ -74,8 +82,10 @@ __all__ = [
     "Predicate",
     "ResultSet",
     "Schema",
+    "SegmentedValues",
     "SelectStatement",
     "Table",
+    "as_segments",
     "conjoin",
     "equals",
     "execute_plan",
@@ -86,5 +96,9 @@ __all__ = [
     "parse_select",
     "plan_select",
     "read_csv",
+    "segment_count",
+    "segment_max",
+    "segment_min",
+    "segment_sum",
     "write_csv",
 ]

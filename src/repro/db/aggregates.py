@@ -14,6 +14,16 @@ DBWipes needs to answer two questions much faster than naive recomputation:
    statistics for algebraic aggregates (sum/count/avg/var/stddev) and by
    reduced recomputation for min/max.
 
+Both questions also arise *per group*: the executor aggregates every
+group of a GROUP BY, the Preprocessor runs leave-one-out over every
+selected group, and the Ranker previews subset removal over all groups
+at once. The ``*_grouped`` methods answer them for a whole
+:class:`~repro.db.segments.SegmentedValues` in single vectorized passes
+(``np.add.reduceat`` closed forms for count/sum/avg/var/stddev, two
+masked segmented reductions for min/max) with no Python per-group loop.
+The ``*_grouped_loop`` variants keep the per-group Python iteration as
+the naive reference for parity tests and the scaling ablation.
+
 NULL handling follows SQL: NaN values (the FLOAT NULL encoding) are
 ignored by every aggregate; an aggregate over zero non-null values is NaN
 (except ``count``, which is 0).
@@ -24,6 +34,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AggregateError
+from .segments import (
+    SegmentedValues,
+    segment_count,
+    segment_max,
+    segment_min,
+    segment_stats,
+    segment_sum,
+)
 
 #: Aggregate names accepted by the SQL parser, matching the paper's list.
 AGGREGATE_NAMES = ("avg", "sum", "count", "min", "max", "stddev", "var")
@@ -67,6 +85,60 @@ class Aggregate:
         remove_mask = _as_mask(values, remove_mask)
         return self.compute(values[~remove_mask])
 
+    # ------------------------------------------------------------------
+    # grouped (segmented) kernels
+    # ------------------------------------------------------------------
+
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        """``out[g]`` = the aggregate over segment ``g``, in one pass.
+
+        Algebraic subclasses override with vectorized kernels; the base
+        version falls back to the per-group Python loop.
+        """
+        return self.compute_grouped_loop(seg)
+
+    def compute_grouped_loop(self, seg: SegmentedValues) -> np.ndarray:
+        """Reference per-group loop for :meth:`compute_grouped`."""
+        return np.array(
+            [self.compute(seg.segment(g)) for g in range(seg.n_segments)],
+            dtype=np.float64,
+        )
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        """Flat leave-one-out values: ``out[i]`` = aggregate of the
+        segment owning flat position ``i`` with that element removed.
+        """
+        return self.leave_one_out_grouped_loop(seg)
+
+    def leave_one_out_grouped_loop(self, seg: SegmentedValues) -> np.ndarray:
+        """Reference per-group loop for :meth:`leave_one_out_grouped`."""
+        if seg.n_segments == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(
+            [self.leave_one_out(seg.segment(g)) for g in range(seg.n_segments)]
+        )
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        """``out[g]`` = aggregate over segment ``g`` with masked flat
+        positions removed (the grouped Δε-preview kernel)."""
+        return self.compute_without_grouped_loop(seg, remove_mask)
+
+    def compute_without_grouped_loop(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        """Reference per-group loop for :meth:`compute_without_grouped`."""
+        remove_mask = _as_flat_mask(seg, remove_mask)
+        mask_parts = seg.split_flat(remove_mask)
+        return np.array(
+            [
+                self.compute_without(seg.segment(g), mask_parts[g])
+                for g in range(seg.n_segments)
+            ],
+            dtype=np.float64,
+        )
+
     def __repr__(self) -> str:
         return f"<aggregate {self.name}>"
 
@@ -81,6 +153,13 @@ def _as_float(values: np.ndarray) -> np.ndarray:
 def _as_mask(values: np.ndarray, remove_mask: np.ndarray) -> np.ndarray:
     remove_mask = np.asarray(remove_mask, dtype=bool)
     if len(remove_mask) != len(values):
+        raise AggregateError("remove mask length does not match values")
+    return remove_mask
+
+
+def _as_flat_mask(seg: SegmentedValues, remove_mask: np.ndarray) -> np.ndarray:
+    remove_mask = np.asarray(remove_mask, dtype=bool)
+    if len(remove_mask) != len(seg.values):
         raise AggregateError("remove mask length does not match values")
     return remove_mask
 
@@ -110,6 +189,19 @@ class Count(Aggregate):
         remove_mask = _as_mask(values, remove_mask)
         valid = ~np.isnan(values)
         return float((valid & ~remove_mask).sum())
+
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        return segment_count(seg.valid, seg.offsets)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid = segment_count(seg.valid, seg.offsets)
+        return n_valid[seg.segment_ids] - seg.valid
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        remove_mask = _as_flat_mask(seg, remove_mask)
+        return segment_count(seg.valid & ~remove_mask, seg.offsets)
 
 
 class Sum(Aggregate):
@@ -145,6 +237,25 @@ class Sum(Aggregate):
         total = np.nansum(values)
         removed = values[remove_mask]
         return float(total - np.nansum(removed))
+
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid, total = segment_stats(seg)
+        return np.where(n_valid > 0, total, np.nan)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid, total = segment_stats(seg)
+        ids = seg.segment_ids
+        out = total[ids] - np.where(seg.valid, seg.values, 0.0)
+        out[seg.valid & (n_valid[ids] == 1.0)] = np.nan
+        out[n_valid[ids] == 0.0] = np.nan
+        return out
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        remove_mask = _as_flat_mask(seg, remove_mask)
+        n_kept, kept_total = segment_stats(seg, where=~remove_mask)
+        return np.where(n_kept > 0, kept_total, np.nan)
 
 
 class Avg(Aggregate):
@@ -187,6 +298,33 @@ class Avg(Aggregate):
             return float("nan")
         total = np.nansum(values) - np.nansum(values[remove_mask])
         return float(total / n)
+
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid, total = segment_stats(seg)
+        with np.errstate(invalid="ignore"):
+            mean = total / np.maximum(n_valid, 1.0)
+        return np.where(n_valid > 0, mean, np.nan)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid, total = segment_stats(seg)
+        ids = seg.segment_ids
+        with np.errstate(invalid="ignore", divide="ignore"):
+            full = np.where(n_valid > 0, total / np.maximum(n_valid, 1.0), np.nan)
+            out = (total[ids] - np.where(seg.valid, seg.values, 0.0)) / (
+                n_valid[ids] - 1.0
+            )
+        out = np.where(seg.valid, out, full[ids])
+        out[seg.valid & (n_valid[ids] == 1.0)] = np.nan
+        return out
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        remove_mask = _as_flat_mask(seg, remove_mask)
+        n_kept, kept_total = segment_stats(seg, where=~remove_mask)
+        with np.errstate(invalid="ignore"):
+            mean = kept_total / np.maximum(n_kept, 1.0)
+        return np.where(n_kept > 0, mean, np.nan)
 
 
 class Var(Aggregate):
@@ -244,6 +382,65 @@ class Var(Aggregate):
         var = (total_c2 - total_c * total_c / n) / (n - 1)
         return float(max(var, 0.0))
 
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        n_valid, tc, tc2, _ = _segment_central_moments(seg)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = (tc2 - tc * tc / np.maximum(n_valid, 1.0)) / (n_valid - 1.0)
+        var = np.maximum(var, 0.0)
+        return np.where(n_valid >= 2, var, np.nan)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        # Same full-data-mean centering as the per-group closed form: the
+        # deviations stay bounded by the data spread, avoiding the
+        # cancellation of the raw sum/sum-of-squares formulation.
+        n_valid, tc, tc2, centered = _segment_central_moments(seg)
+        ids = seg.segment_ids
+        with np.errstate(invalid="ignore", divide="ignore"):
+            full = (tc2 - tc * tc / np.maximum(n_valid, 1.0)) / (n_valid - 1.0)
+            full = np.where(n_valid >= 2, np.maximum(full, 0.0), np.nan)
+            n_after = n_valid[ids] - 1.0
+            sum_after = tc[ids] - centered
+            sumsq_after = tc2[ids] - centered * centered
+            var_after = (sumsq_after - sum_after * sum_after / n_after) / (
+                n_after - 1.0
+            )
+        out = np.maximum(var_after, 0.0)
+        out = np.where(seg.valid, out, full[ids])
+        out[seg.valid & (n_valid[ids] < 3.0)] = np.nan
+        return out
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        # Centering stays on the *full* per-group mean, matching the
+        # per-group compute_without sufficient-statistics form.
+        remove_mask = _as_flat_mask(seg, remove_mask)
+        n_valid, total = segment_stats(seg)
+        keep = seg.valid & ~remove_mask
+        n_kept = segment_count(keep, seg.offsets)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = total / np.maximum(n_valid, 1.0)
+            kept_c = np.where(keep, seg.values - mean[seg.segment_ids], 0.0)
+            tc = segment_sum(kept_c, seg.offsets)
+            tc2 = segment_sum(kept_c * kept_c, seg.offsets)
+            var = (tc2 - tc * tc / np.maximum(n_kept, 1.0)) / (n_kept - 1.0)
+        var = np.maximum(var, 0.0)
+        return np.where(n_kept >= 2, var, np.nan)
+
+
+def _segment_central_moments(
+    seg: SegmentedValues,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``(n_valid, Σc, Σc², c)`` with ``c`` centered on the
+    segment's own valid mean (0 at NULL positions)."""
+    n_valid, total = segment_stats(seg)
+    with np.errstate(invalid="ignore"):
+        mean = total / np.maximum(n_valid, 1.0)
+    centered = np.where(seg.valid, seg.values - mean[seg.segment_ids], 0.0)
+    tc = segment_sum(centered, seg.offsets)
+    tc2 = segment_sum(centered * centered, seg.offsets)
+    return n_valid, tc, tc2, centered
+
 
 class Stddev(Aggregate):
     """``stddev(x)`` — sample standard deviation."""
@@ -266,6 +463,20 @@ class Stddev(Aggregate):
         var = self._var.compute_without(values, remove_mask)
         return float(np.sqrt(var)) if not np.isnan(var) else float("nan")
 
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(self._var.compute_grouped(seg))
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(self._var.leave_one_out_grouped(seg))
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(self._var.compute_without_grouped(seg, remove_mask))
+
 
 class Min(Aggregate):
     """``min(x)``."""
@@ -281,6 +492,17 @@ class Min(Aggregate):
     def leave_one_out(self, values: np.ndarray) -> np.ndarray:
         return _extreme_leave_one_out(values, smallest=True)
 
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        return _segment_extreme(seg, smallest=True)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        return _segment_extreme_leave_one_out(seg, smallest=True)
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without(seg, remove_mask, smallest=True)
+
 
 class Max(Aggregate):
     """``max(x)``."""
@@ -295,6 +517,72 @@ class Max(Aggregate):
 
     def leave_one_out(self, values: np.ndarray) -> np.ndarray:
         return _extreme_leave_one_out(values, smallest=False)
+
+    def compute_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        return _segment_extreme(seg, smallest=False)
+
+    def leave_one_out_grouped(self, seg: SegmentedValues) -> np.ndarray:
+        return _segment_extreme_leave_one_out(seg, smallest=False)
+
+    def compute_without_grouped(
+        self, seg: SegmentedValues, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without(seg, remove_mask, smallest=False)
+
+
+def _segment_extreme(seg: SegmentedValues, smallest: bool) -> np.ndarray:
+    """Per-segment min/max over valid values; all-NULL segments are NaN."""
+    sentinel = np.inf if smallest else -np.inf
+    reducer = segment_min if smallest else segment_max
+    masked = np.where(seg.valid, seg.values, sentinel)
+    ext = reducer(masked, seg.offsets, empty_fill=sentinel)
+    n_valid = segment_count(seg.valid, seg.offsets)
+    return np.where(n_valid > 0, ext, np.nan)
+
+
+def _segment_extreme_leave_one_out(
+    seg: SegmentedValues, smallest: bool
+) -> np.ndarray:
+    """Grouped min/max leave-one-out via extreme + runner-up reductions.
+
+    Two masked segmented reductions suffice: the extreme itself, and the
+    extreme with all extreme-valued positions masked out (the runner-up).
+    Only a *uniquely* extreme element changes its group's value when
+    removed — it falls back to the runner-up; everything else (including
+    NULLs) sees the unchanged extreme.
+    """
+    sentinel = np.inf if smallest else -np.inf
+    reducer = segment_min if smallest else segment_max
+    n_valid = segment_count(seg.valid, seg.offsets)
+    masked = np.where(seg.valid, seg.values, sentinel)
+    ext = reducer(masked, seg.offsets, empty_fill=sentinel)
+    ids = seg.segment_ids
+    is_ext = seg.valid & (seg.values == ext[ids])
+    mult = segment_count(is_ext, seg.offsets)
+    runner = reducer(
+        np.where(is_ext, sentinel, masked), seg.offsets, empty_fill=sentinel
+    )
+    out = ext[ids].copy()
+    unique_ext = is_ext & (mult[ids] == 1.0)
+    out[unique_ext] = runner[ids][unique_ext]
+    out[seg.valid & (n_valid[ids] == 1.0)] = np.nan
+    out[n_valid[ids] == 0.0] = np.nan
+    return out
+
+
+def _segment_extreme_without(
+    seg: SegmentedValues, remove_mask: np.ndarray, smallest: bool
+) -> np.ndarray:
+    """Per-segment min/max after removing masked positions."""
+    remove_mask = _as_flat_mask(seg, remove_mask)
+    sentinel = np.inf if smallest else -np.inf
+    reducer = segment_min if smallest else segment_max
+    keep = seg.valid & ~remove_mask
+    ext = reducer(
+        np.where(keep, seg.values, sentinel), seg.offsets, empty_fill=sentinel
+    )
+    n_kept = segment_count(keep, seg.offsets)
+    return np.where(n_kept > 0, ext, np.nan)
 
 
 def _extreme_leave_one_out(values: np.ndarray, smallest: bool) -> np.ndarray:

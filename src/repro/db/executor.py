@@ -5,6 +5,15 @@ table and produces a :class:`~repro.db.result.ResultSet`. Provenance is
 captured *during* grouping — every output row records the tids of the
 input tuples in its group — so ranked provenance never has to re-derive
 lineage afterwards.
+
+Grouped aggregation is segmented: one stable sort on the combined group
+codes yields a :class:`~repro.db.segments.SegmentedValues` layout from
+which lineage, group-key columns, and every aggregate column are
+produced by vectorized grouped kernels — no Python per-group loop.
+
+Ordering semantics: ORDER BY sorts NULLs last in *both* directions
+(ascending and descending), for numeric (NaN-encoded) and string
+columns alike; descending order never reverses ties.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from .planner import LogicalPlan
 from .provenance import CoarseProvenance, FineProvenance, OpNode
 from .result import ResultSet
 from .schema import Column, Schema
+from .segments import SegmentedValues
 from .sqlparse.ast_nodes import SelectStatement, Star
 from .table import Table
 from .types import ColumnType
@@ -80,46 +90,45 @@ def _execute_aggregate(
 ) -> tuple[Table, list[np.ndarray], tuple[str, ...], tuple[str, ...]]:
     key_arrays = [spec.expr.eval(base) for spec in plan.keys]
     if key_arrays:
-        codes, group_order = _group_codes(key_arrays)
-        n_groups = len(group_order)
+        codes, n_groups = _group_codes(key_arrays)
         ops.append(
             OpNode("groupby", ", ".join(spec.expr.to_sql() for spec in plan.keys))
         )
     else:
         codes = np.zeros(len(base), dtype=np.int64)
-        group_order = [np.arange(len(base), dtype=np.int64)] if len(base) else [
-            np.empty(0, dtype=np.int64)
-        ]
         n_groups = 1
 
-    lineage: list[np.ndarray] = []
+    # One stable sort groups every downstream pass: lineage, group-key
+    # columns, and all aggregate columns come from the same segmented
+    # layout with no Python per-group loops.
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=n_groups)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
     base_tids = np.asarray(base.tids)
-    for group_positions in group_order:
-        lineage.append(base_tids[group_positions])
+    sorted_tids = base_tids[order]
+    if n_groups:
+        lineage = list(np.split(sorted_tids, offsets[1:-1]))
+    else:
+        lineage = []
 
     out_columns: dict[str, np.ndarray] = {}
     out_schema_cols: list[Column] = []
 
-    key_first_positions = np.array(
-        [positions[0] if len(positions) else -1 for positions in group_order],
-        dtype=np.int64,
-    )
-    for spec_index, spec in enumerate(plan.keys):
-        array = key_arrays[spec_index]
-        if n_groups == 1 and len(base) == 0:
-            column = np.empty(0, dtype=array.dtype)
-            lineage = [np.empty(0, dtype=np.int64)]
-        else:
+    if plan.keys:
+        # Grouping keys imply every group is non-empty, so the first
+        # sorted position of each segment is a valid representative.
+        key_first_positions = order[offsets[:-1]]
+        for spec_index, spec in enumerate(plan.keys):
+            array = key_arrays[spec_index]
             column = array[key_first_positions]
-        out_columns[spec.output_name] = _coerce_output(column, spec.ctype)
-        out_schema_cols.append(Column(spec.output_name, spec.ctype))
+            out_columns[spec.output_name] = _coerce_output(column, spec.ctype)
+            out_schema_cols.append(Column(spec.output_name, spec.ctype))
 
     for spec in plan.aggs:
         values = _agg_input(spec, base)
-        agg_out = np.empty(n_groups, dtype=np.float64)
-        for group_index, group_positions in enumerate(group_order):
-            group_values = values[group_positions]
-            agg_out[group_index] = spec.impl.compute(group_values)
+        seg = SegmentedValues(values[order], offsets)
+        agg_out = spec.impl.compute_grouped(seg)
         ctype = ColumnType.INT if spec.impl.name == "count" else ColumnType.FLOAT
         if ctype is ColumnType.INT:
             out_columns[spec.output_name] = agg_out.astype(np.int64)
@@ -181,12 +190,13 @@ def _agg_input(spec: Any, base: Table) -> np.ndarray:
     return np.asarray(values, dtype=np.float64)
 
 
-def _group_codes(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
-    """Combine several key arrays into group codes and per-group positions.
+def _group_codes(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Combine several key arrays into dense group codes.
 
-    Groups are ordered by ascending key tuples (the order ``np.unique``
-    produces per key column, combined left-to-right), matching the stable
-    ordering the dashboard relies on for the x-axis.
+    Returns ``(codes, n_groups)`` where ``codes[i]`` is the group index
+    of input row ``i``. Groups are ordered by ascending key tuples (the
+    order ``np.unique`` produces per key column, combined left-to-right),
+    matching the stable ordering the dashboard relies on for the x-axis.
     """
     code_arrays = []
     cardinalities = []
@@ -211,37 +221,50 @@ def _group_codes(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndar
     for codes, cardinality in zip(code_arrays, cardinalities):
         combined = combined * cardinality + codes
     unique_codes, inverse = np.unique(combined, return_inverse=True)
-    order = np.argsort(inverse, kind="stable")
-    boundaries = np.searchsorted(inverse[order], np.arange(len(unique_codes) + 1))
-    group_positions = [
-        order[boundaries[i]: boundaries[i + 1]] for i in range(len(unique_codes))
-    ]
-    return inverse, group_positions
+    return inverse.astype(np.int64), len(unique_codes)
 
 
 def _order_positions(statement: SelectStatement, output: Table) -> np.ndarray:
-    positions = np.arange(len(output), dtype=np.int64)
-    # Apply keys right-to-left with stable sorts for lexicographic order.
-    # Descending order is achieved by negating the sort key (never by
-    # reversing a stable sort, which would also reverse ties).
-    for item in reversed(statement.order_by):
-        values = item.expr.eval(output)
-        if values.dtype == object:
-            order = sorted(
-                range(len(values)),
-                key=lambda i: (values[i] is None, values[i] or ""),
-                reverse=item.descending,
-            )
-            order = np.array(order, dtype=np.int64)
-        elif item.descending:
-            order = np.argsort(
-                -np.asarray(values, dtype=np.float64), kind="stable"
-            )
-        else:
-            order = np.argsort(values, kind="stable")
-        positions = positions[order]
-        output = output.take(order)
-    return positions
+    """Row positions realizing ORDER BY in one ``np.lexsort`` pass.
+
+    Every key expression is evaluated exactly once on the unsorted
+    output (no intermediate ``take`` copies), converted to a sortable
+    key array, and handed to a single stable lexicographic sort.
+
+    NULL semantics are NULLS LAST in *both* directions, matching the
+    numeric behavior (NaN sorts after every float under ascending and
+    descending alike): object-column NULLs map to NaN ranks, which
+    negation preserves. Descending order is achieved by negating the
+    key (never by reversing a stable sort, which would also reverse
+    ties).
+    """
+    keys = [
+        _sort_key(item.expr.eval(output), item.descending)
+        for item in statement.order_by
+    ]
+    # lexsort treats its *last* key as primary; ties fall back to the
+    # original row order because lexsort is stable overall.
+    order = np.lexsort(tuple(reversed(keys)))
+    return np.asarray(order, dtype=np.int64)
+
+
+def _sort_key(values: np.ndarray, descending: bool) -> np.ndarray:
+    """One ORDER BY key as an array whose ascending sort realizes it."""
+    if values.dtype == object:
+        present = sorted({v for v in values if v is not None})
+        rank_of = {value: float(i) for i, value in enumerate(present)}
+        key = np.fromiter(
+            (np.nan if v is None else rank_of[v] for v in values),
+            dtype=np.float64,
+            count=len(values),
+        )
+        return -key if descending else key
+    array = np.asarray(values)
+    if not descending:
+        return array
+    if array.dtype == np.bool_:
+        array = array.astype(np.int64)
+    return -array
 
 
 def _coerce_output(array: np.ndarray, ctype: ColumnType) -> np.ndarray:

@@ -1,0 +1,241 @@
+"""Segmented-array execution layer: one flat array, many groups.
+
+The pipeline's hot paths — grouped aggregation in the executor,
+leave-one-out influence in the Preprocessor, and the ranker's Δε
+previews — all operate on *the same shape of data*: the values of one
+numeric expression partitioned into per-group segments. Iterating over
+those segments in Python (one ``Aggregate.compute`` call per group) is
+the dominant cost at scale; this module replaces the iteration with a
+single :class:`SegmentedValues` structure plus vectorized kernels.
+
+A ``SegmentedValues`` holds a flat float64 ``values`` array in which the
+elements of segment ``g`` occupy ``values[offsets[g]:offsets[g + 1]]``
+(the classic CSR/ragged-array layout). Kernels are built on
+``np.ufunc.reduceat`` over the non-empty segment starts, which makes
+every per-segment reduction one C-level pass regardless of the number
+of segments:
+
+* :func:`segment_sum` / :func:`segment_min` / :func:`segment_max` —
+  per-segment reductions with explicit empty-segment fills (``reduceat``
+  alone mishandles zero-length segments, so empties are masked out and
+  filled separately);
+* :meth:`SegmentedValues.segment_ids` — the inverse map from flat
+  element position to segment index, used to broadcast per-segment
+  statistics back onto elements (the "sorted-segment trick" behind the
+  closed-form grouped leave-one-out kernels in
+  :mod:`repro.db.aggregates`).
+
+NULL semantics match :mod:`repro.db.aggregates`: NaN is the FLOAT NULL
+encoding and every kernel that claims "valid" arithmetic excludes NaN
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import AggregateError
+
+
+class SegmentedValues:
+    """A flat float64 array partitioned into contiguous segments.
+
+    Parameters
+    ----------
+    values:
+        Flat array of per-tuple values, segment by segment.
+    offsets:
+        int64 array of length ``n_segments + 1`` with ``offsets[0] == 0``,
+        ``offsets[-1] == len(values)``, monotonically non-decreasing.
+        Segment ``g`` is ``values[offsets[g]:offsets[g + 1]]``; empty
+        segments are allowed.
+    """
+
+    __slots__ = ("values", "offsets", "_segment_ids", "_valid")
+
+    def __init__(self, values: np.ndarray, offsets: np.ndarray):
+        values = np.asarray(values)
+        if values.dtype == object:
+            raise AggregateError("segmented kernels require numeric input")
+        self.values = np.asarray(values, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(self.values):
+            raise AggregateError(
+                "offsets must start at 0 and end at len(values)"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise AggregateError("offsets must be non-decreasing")
+        self.offsets = offsets
+        self._segment_ids: np.ndarray | None = None
+        self._valid: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "SegmentedValues":
+        """Build from one array per segment (concatenating them)."""
+        arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        if arrays:
+            values = np.concatenate(arrays)
+        else:
+            values = np.empty(0, dtype=np.float64)
+        return cls(values, offsets)
+
+    @classmethod
+    def from_codes(
+        cls, values: np.ndarray, codes: np.ndarray, n_segments: int
+    ) -> "tuple[SegmentedValues, np.ndarray]":
+        """Build by stably sorting ``values`` on integer segment ``codes``.
+
+        Returns ``(seg, order)`` where ``order`` is the permutation that
+        groups the flat input (``seg.values == values[order]``), so
+        callers can carry parallel arrays (tids, masks) into segment
+        order with the same gather.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        order = np.argsort(codes, kind="stable")
+        counts = np.bincount(codes, minlength=n_segments)
+        if len(counts) > n_segments:
+            raise AggregateError("codes exceed the declared segment count")
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return cls(np.asarray(values, dtype=np.float64)[order], offsets), order
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments (groups)."""
+        return len(self.offsets) - 1
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-segment element counts (NaNs included)."""
+        return np.diff(self.offsets)
+
+    @property
+    def segment_ids(self) -> np.ndarray:
+        """``out[i]`` = segment index owning flat position ``i`` (cached)."""
+        if self._segment_ids is None:
+            self._segment_ids = np.repeat(
+                np.arange(self.n_segments, dtype=np.int64), self.lengths
+            )
+        return self._segment_ids
+
+    @property
+    def valid(self) -> np.ndarray:
+        """Boolean mask of non-NaN (non-NULL) flat positions (cached)."""
+        if self._valid is None:
+            self._valid = ~np.isnan(self.values)
+        return self._valid
+
+    def segment(self, index: int) -> np.ndarray:
+        """Segment ``index`` as a view into the flat array."""
+        return self.values[self.offsets[index]: self.offsets[index + 1]]
+
+    def to_arrays(self) -> list[np.ndarray]:
+        """All segments as a list of views (for interop with loop code)."""
+        return [self.segment(g) for g in range(self.n_segments)]
+
+    def split_flat(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Partition a parallel flat array into per-segment views."""
+        flat = np.asarray(flat)
+        if len(flat) != len(self.values):
+            raise AggregateError("flat array length does not match segments")
+        if self.n_segments == 0:
+            return []
+        return np.split(flat, self.offsets[1:-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedValues({len(self.values)} values, "
+            f"{self.n_segments} segments)"
+        )
+
+
+# ----------------------------------------------------------------------
+# reduceat kernels
+# ----------------------------------------------------------------------
+
+
+def _reduceat(
+    ufunc: np.ufunc,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    empty_fill: float,
+) -> np.ndarray:
+    """``ufunc``-reduce each segment, filling empty segments explicitly.
+
+    ``np.ufunc.reduceat`` returns ``values[start]`` (not the identity)
+    for zero-length slices and cannot take a start index equal to
+    ``len(values)``, so empty segments are dropped from the index list
+    and written as ``empty_fill`` instead. Dropping them is sound
+    because offsets are monotone: the surviving starts still delimit
+    exactly the non-empty segments.
+    """
+    n = len(offsets) - 1
+    out = np.full(n, empty_fill, dtype=np.float64)
+    if n == 0 or len(values) == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = starts < offsets[1:]
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(values, starts[nonempty])
+    return out
+
+
+def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sum; empty segments sum to 0."""
+    return _reduceat(np.add, np.asarray(values, dtype=np.float64), offsets, 0.0)
+
+
+def segment_min(
+    values: np.ndarray, offsets: np.ndarray, empty_fill: float = np.inf
+) -> np.ndarray:
+    """Per-segment min; empty segments yield ``empty_fill`` (+inf)."""
+    return _reduceat(np.minimum, values, offsets, empty_fill)
+
+
+def segment_max(
+    values: np.ndarray, offsets: np.ndarray, empty_fill: float = -np.inf
+) -> np.ndarray:
+    """Per-segment max; empty segments yield ``empty_fill`` (-inf)."""
+    return _reduceat(np.maximum, values, offsets, empty_fill)
+
+
+def segment_count(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment count of True positions in a boolean mask."""
+    return segment_sum(np.asarray(mask, dtype=np.float64), offsets)
+
+
+def segment_stats(
+    seg: SegmentedValues, where: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(n_valid, total)`` per segment over non-NaN positions.
+
+    ``where`` optionally restricts which flat positions participate
+    (NaN positions are always excluded).
+    """
+    keep = seg.valid if where is None else (seg.valid & where)
+    n_valid = segment_count(keep, seg.offsets)
+    total = segment_sum(np.where(keep, seg.values, 0.0), seg.offsets)
+    return n_valid, total
+
+
+def as_segments(
+    values: "SegmentedValues | Iterable[np.ndarray]",
+) -> SegmentedValues:
+    """Coerce a list of per-group arrays (or a SegmentedValues) to segments."""
+    if isinstance(values, SegmentedValues):
+        return values
+    return SegmentedValues.from_arrays(list(values))

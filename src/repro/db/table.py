@@ -66,6 +66,7 @@ class Table:
         self._length = length
         self.name = name
         self._tid_index: dict[int, int] | None = None
+        self._tid_sorted: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -207,9 +208,30 @@ class Table:
         return self._ensure_tid_index()[int(tid)]
 
     def positions_of(self, tids: Iterable[int]) -> np.ndarray:
-        """Row positions for an iterable of tids, in the given order."""
-        index = self._ensure_tid_index()
-        return np.array([index[int(tid)] for tid in tids], dtype=np.int64)
+        """Row positions for an iterable of tids, in the given order.
+
+        Vectorized via binary search over a cached sorted-tid index, so
+        bulk lookups (``take_tids`` over a whole lineage) avoid a
+        Python-level loop. Raises ``KeyError`` on the first missing tid.
+        """
+        if isinstance(tids, np.ndarray):
+            wanted = np.asarray(tids, dtype=np.int64)
+        else:
+            wanted = np.fromiter((int(t) for t in tids), dtype=np.int64)
+        if len(wanted) == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._length == 0:
+            raise KeyError(int(wanted[0]))
+        if self._tid_sorted is None:
+            sorter = np.argsort(self._tids, kind="stable")
+            self._tid_sorted = (sorter, self._tids[sorter])
+        sorter, sorted_tids = self._tid_sorted
+        pos = np.searchsorted(sorted_tids, wanted)
+        pos = np.minimum(pos, len(sorted_tids) - 1)
+        found = sorted_tids[pos] == wanted
+        if not bool(found.all()):
+            raise KeyError(int(wanted[~found][0]))
+        return sorter[pos]
 
     def contains_tid(self, tid: int) -> bool:
         """Whether ``tid`` is present in this table view."""

@@ -182,6 +182,50 @@ class TestHavingOrderLimit:
             ("b", 2), ("a", 1), ("a", 3),
         ]
 
+    def test_order_by_string_nulls_last_asc(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"k": ["b", None, "a", None], "x": [1.0, 2.0, 3.0, 4.0]},
+            types={"k": "str", "x": "float"},
+        )
+        result = db.sql("SELECT k, x FROM t ORDER BY k")
+        assert result.column("k").tolist() == ["a", "b", None, None]
+
+    def test_order_by_string_nulls_last_desc(self):
+        # NULLS LAST must hold in *both* directions: a wholesale
+        # reversal of the ascending order would float NULLs to the top.
+        db = Database()
+        db.create_table(
+            "t",
+            {"k": ["b", None, "a", None], "x": [1.0, 2.0, 3.0, 4.0]},
+            types={"k": "str", "x": "float"},
+        )
+        result = db.sql("SELECT k, x FROM t ORDER BY k DESC")
+        assert result.column("k").tolist() == ["b", "a", None, None]
+
+    def test_order_by_numeric_nulls_last_both_directions(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"x": [2.0, None, 1.0]},
+            types={"x": "float"},
+        )
+        ascending = db.sql("SELECT x FROM t ORDER BY x").column("x")
+        descending = db.sql("SELECT x FROM t ORDER BY x DESC").column("x")
+        assert ascending[:2].tolist() == [1.0, 2.0] and np.isnan(ascending[2])
+        assert descending[:2].tolist() == [2.0, 1.0] and np.isnan(descending[2])
+
+    def test_order_by_desc_preserves_tie_order(self):
+        db = Database()
+        db.create_table(
+            "t",
+            {"k": ["a", "a", "b"], "x": [1.0, 2.0, 3.0]},
+            types={"k": "str", "x": "float"},
+        )
+        result = db.sql("SELECT k, x FROM t ORDER BY k DESC")
+        assert result.column("x").tolist() == [3.0, 1.0, 2.0]
+
     def test_limit(self, sensors_db):
         result = sensors_db.sql(
             "SELECT sensorid, count(*) FROM sensors GROUP BY sensorid LIMIT 2"

@@ -103,6 +103,24 @@ class TestLeaveOneOutInfluence:
         )
         assert result.score_of(np.array([999])).tolist() == [0.0]
 
+    def test_score_of_matches_dict_lookup(self):
+        # The searchsorted index must return exactly the per-tid scores
+        # (in any request order, with unknown tids interleaved).
+        group_values, group_tids = _make_groups()
+        result = leave_one_out_influence(
+            group_values, group_tids, [0, 1], get_aggregate("avg"), TooHigh(20.0)
+        )
+        lookup = {int(t): float(s) for t, s in zip(result.tids, result.scores)}
+        probe = np.array([4, 2, 999, 0, 3, 1, -5])
+        expected = [lookup.get(int(t), 0.0) for t in probe]
+        np.testing.assert_allclose(result.score_of(probe), expected)
+
+    def test_score_of_empty_result(self):
+        result = leave_one_out_influence(
+            [], [], [], get_aggregate("avg"), TooHigh(20.0)
+        )
+        assert result.score_of(np.array([1, 2])).tolist() == [0.0, 0.0]
+
 
 class TestSubsetEpsilon:
     def test_removing_culprits_zeroes_error(self):
