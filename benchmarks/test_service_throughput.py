@@ -1,0 +1,112 @@
+"""Closed-loop service throughput: K clients × M debug cycles.
+
+The acceptance workload of the serving tier: 8 concurrent clients each
+replay the scripted §3.2 FEC debug cycle (execute → brush S → zoom →
+brush D' → metric → debug → apply → undo) against one server process.
+Asserts correctness (every client sees the single-session ranked
+answer) and records requests/sec plus shared preprocess-cache hit/miss
+counts to ``BENCH_service.json`` at the repo root (uploaded as a CI
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.frontend import Brush, DBWipesSession
+from repro.service import DBWipesServer, DatasetCatalog, ServiceClient, SessionManager
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_CLIENTS = 8
+N_CYCLES = 3 * SCALE
+#: Wire requests issued per debug cycle (excluding the one-time open).
+REQUESTS_PER_CYCLE = 8
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def run_cycle(client: ServiceClient) -> str:
+    """One scripted FEC debug cycle; returns the top predicate text."""
+    client.execute(client.bootstrap, max_rows=0)
+    client.select_results(brush={"below": 0.0})
+    client.zoom(max_points=0)
+    client.select_inputs(brush={"below": 0.0})
+    client.set_metric("too_low", threshold=0.0)
+    report = client.debug(max_rows=1)
+    client.apply(0, max_rows=0)
+    client.undo(max_rows=0)
+    return report["predicates"][0]["predicate"]
+
+
+class TestServiceThroughput:
+    def test_eight_concurrent_clients_closed_loop(self, fec_workload):
+        db, __, __ = fec_workload
+        catalog = DatasetCatalog()
+        catalog.register("fec", db, bootstrap=_bootstrap())
+        manager = SessionManager(catalog=catalog)
+
+        # Single-session reference answer on the same shared database.
+        session = DBWipesSession(db)
+        session.execute(_bootstrap())
+        session.select_results(Brush.below(0.0))
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        expected = session.debug().best.predicate.describe()
+
+        with DBWipesServer(manager, port=0) as server:
+            host, port = server.address
+
+            def one_client(index: int) -> list[str]:
+                with ServiceClient(
+                    host, port, session=f"bench-{index}", timeout=600
+                ) as client:
+                    client.open("fec")
+                    return [run_cycle(client) for __ in range(N_CYCLES)]
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                answers = list(pool.map(one_client, range(N_CLIENTS)))
+            elapsed = time.perf_counter() - start
+
+        # Correctness: every cycle of every client matches single-session mode.
+        assert answers == [[expected] * N_CYCLES] * N_CLIENTS
+
+        cache_stats = manager.preprocess_cache.stats()
+        # All clients debug the same (table, sql, S, metric) identity: one
+        # computation, everything else hits across sessions and cycles.
+        assert cache_stats["hits"] > 0
+        assert cache_stats["misses"] >= 1
+
+        n_requests = N_CLIENTS * (1 + N_CYCLES * REQUESTS_PER_CYCLE)
+        record = {
+            "benchmark": "service_closed_loop",
+            "n_clients": N_CLIENTS,
+            "n_cycles_per_client": N_CYCLES,
+            "n_requests": n_requests,
+            "elapsed_seconds": elapsed,
+            "requests_per_second": n_requests / elapsed,
+            "debug_cycles_per_second": (N_CLIENTS * N_CYCLES) / elapsed,
+            "preprocess_cache": cache_stats,
+            "top_predicate": expected,
+        }
+        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        print(
+            f"\nservice throughput: {record['requests_per_second']:.0f} req/s, "
+            f"{record['debug_cycles_per_second']:.1f} debug cycles/s, "
+            f"cache hit rate {cache_stats['hit_rate']:.2f} "
+            f"({cache_stats['hits']} hits / {cache_stats['misses']} misses) "
+            f"-> {BENCH_PATH.name}"
+        )
+
+
+def _bootstrap() -> str:
+    from repro.data import walkthrough_query
+
+    return walkthrough_query("MCCAIN")

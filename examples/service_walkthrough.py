@@ -1,0 +1,110 @@
+"""The §3.2 FEC walkthrough, replayed over a live service socket.
+
+Boots a :class:`~repro.service.server.DBWipesServer` on an ephemeral
+port, connects a :class:`~repro.service.client.ServiceClient` over real
+TCP, and drives the paper's campaign-donation story end to end:
+
+1. run the bootstrap query (daily MCCAIN totals) — a negative spike
+   stands out;
+2. brush the negative days (S), zoom, brush the negative donations (D');
+3. pick the "values are too low" metric with threshold 0;
+4. debug — the ranked list implicates the REATTRIBUTION memo;
+5. click the memo predicate — the spike disappears;
+6. undo/redo to show cleanings are reversible.
+
+Exits non-zero if any step misbehaves, so CI can gate on it.
+
+Run with:  PYTHONPATH=src python examples/service_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.data import REATTRIBUTION_MEMO
+from repro.service import DBWipesServer, ServiceClient
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAILED: {message}")
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def main() -> int:
+    print("booting the DBWipes service ...")
+    with DBWipesServer(port=0) as server:
+        host, port = server.address
+        print(f"listening on {host}:{port}; connecting a client")
+        with ServiceClient(host, port, session="attendee-1", timeout=300) as client:
+            pong = client.ping()
+            check(pong["pong"] is True, "server answers ping")
+
+            opened = client.open("fec")
+            bootstrap = opened["bootstrap"]
+            check(bool(bootstrap), "open returns the bootstrap query")
+            print(f"\n§3.2: {bootstrap}")
+
+            result = client.execute(bootstrap, max_rows=0)
+            check(result["num_rows"] > 0, "bootstrap query returns daily totals")
+
+            totals = [row[1] for row in client.result(max_rows=None)["rows"]]
+            negative_days = [t for t in totals if t is not None and t < 0]
+            check(len(negative_days) > 0, "a negative spike exists in the totals")
+
+            selected = client.select_results(brush={"below": 0.0})
+            check(len(selected) > 0, f"brushed {len(selected)} suspicious days as S")
+
+            scatter = client.zoom()
+            check(scatter["n"] > 0, f"zoomed into {scatter['n']} input tuples")
+
+            dprime = client.select_inputs(brush={"below": 0.0})
+            check(len(dprime) > 0, f"brushed {len(dprime)} negative donations as D'")
+
+            forms = [o["form_id"] for o in client.error_form()]
+            check("too_low" in forms, f"error form offers too_low (got {forms})")
+            metric = client.set_metric("too_low", threshold=0.0)
+            print(f"  metric: {metric}")
+
+            report = client.debug()
+            check(report["n_predicates"] > 0, "debug returned ranked predicates")
+            top_predicates = [p["predicate"] for p in report["predicates"][:3]]
+            print("  top ranked predicates:")
+            for rank, predicate in enumerate(top_predicates, start=1):
+                print(f"    {rank}. {predicate}")
+            memo_rank = next(
+                (
+                    i
+                    for i, p in enumerate(report["predicates"])
+                    if REATTRIBUTION_MEMO in p["predicate"]
+                ),
+                None,
+            )
+            check(
+                memo_rank is not None and memo_rank < 3,
+                f"the {REATTRIBUTION_MEMO!r} memo ranks in the top 3",
+            )
+
+            applied = client.apply(memo_rank)
+            cleaned = [
+                row[1]
+                for row in applied["result"]["rows"]
+                if row[1] is not None
+            ]
+            check(min(cleaned) >= 0, "applying the memo predicate removes the spike")
+            print(f"  cleaned query: {applied['sql']}")
+
+            undone = client.undo()
+            check("NOT" not in undone["sql"], "undo restores the original query")
+            redone = client.redo()
+            check("NOT" in redone["sql"], "redo re-applies the cleaning")
+
+            stats = client.stats()
+            print(f"\nserver stats: {stats}")
+    print("walkthrough complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,8 @@ Subpackages
 * :mod:`repro.frontend` — session, brushes, forms, ASCII dashboard.
 * :mod:`repro.data` — synthetic FEC / Intel Lab / clustered-anomaly data.
 * :mod:`repro.baselines` — classic provenance and fixed-criteria rivals.
+* :mod:`repro.service` — the concurrent multi-session TCP serving tier
+  (``python -m repro serve`` / ``connect``).
 """
 
 from . import errors

@@ -7,7 +7,12 @@ provided bootstrap queries. This CLI is that experience in a terminal:
 * ``python -m repro fec`` / ``python -m repro intel`` — load a dataset
   with its bootstrap query and start the interactive loop;
 * ``python -m repro fec --script`` — run the full §3.2 walkthrough
-  non-interactively (useful for demos, docs, and tests).
+  non-interactively (useful for demos, docs, and tests);
+* ``python -m repro serve`` — boot the multi-session TCP service
+  (options: ``--host``, ``--port``, ``--max-sessions``, ``--ttl``);
+* ``python -m repro connect`` — the same interactive loop, but against
+  a running server (``--host``, ``--port``, ``--session``,
+  ``--dataset``, ``--script``).
 
 Interactive commands mirror the dashboard's controls::
 
@@ -28,6 +33,7 @@ Interactive commands mirror the dashboard's controls::
 
 from __future__ import annotations
 
+import math
 import sys
 from typing import Callable, Iterable, TextIO
 
@@ -96,28 +102,18 @@ def load_dataset(name: str) -> Database:
     return db
 
 
-class DemoShell:
-    """A line-command shell over a :class:`DBWipesSession`."""
+class BaseShell:
+    """Line-command dispatch shared by the local and remote shells.
 
-    def __init__(self, db: Database, out: TextIO | None = None):
-        self.session = DBWipesSession(db)
+    Subclasses fill ``self._commands`` with ``name -> handler(args)``;
+    everything about reading, echoing, dispatching, and error rendering
+    lives here so the two shells cannot drift.
+    """
+
+    def __init__(self, out: TextIO | None = None):
         self.out = out or sys.stdout
         self._debug_agg: str | None = None
-        self._commands: dict[str, Callable[[list[str]], None]] = {
-            "sql": self._cmd_sql,
-            "show": self._cmd_show,
-            "select": self._cmd_select,
-            "zoom": self._cmd_zoom,
-            "inputs": self._cmd_inputs,
-            "forms": self._cmd_forms,
-            "metric": self._cmd_metric,
-            "debug": self._cmd_debug,
-            "apply": self._cmd_apply,
-            "undo": self._cmd_undo,
-            "redo": self._cmd_redo,
-            "query": self._cmd_query,
-            "help": self._cmd_help,
-        }
+        self._commands: dict[str, Callable[[list[str]], None]] = {}
 
     def _print(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -162,6 +158,50 @@ class DemoShell:
                 break
             if not self.run_line(line):
                 break
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self._print(__doc__ or "")
+
+    @staticmethod
+    def _parse_brush(args: list[str]) -> tuple[Brush | list[int], list[str]]:
+        """Parse ``y> 5`` / ``y< 0`` / ``x= 3`` / ``row 1 2 3`` selections."""
+        if not args:
+            raise ReproError("selection needs an argument; e.g. 'select y> 10'")
+        head = args[0]
+        if head == "row":
+            return [int(a) for a in args[1:]], []
+        if head in ("y>", "y<", "x=") and len(args) >= 2:
+            value = float(args[1])
+            rest = args[2:]
+            if head == "y>":
+                return Brush.above(value), rest
+            if head == "y<":
+                return Brush.below(value), rest
+            return Brush.over_x(value, value), rest
+        raise ReproError(f"cannot parse selection {' '.join(args)!r}")
+
+
+class DemoShell(BaseShell):
+    """A line-command shell over a :class:`DBWipesSession`."""
+
+    def __init__(self, db: Database, out: TextIO | None = None):
+        super().__init__(out)
+        self.session = DBWipesSession(db)
+        self._commands = {
+            "sql": self._cmd_sql,
+            "show": self._cmd_show,
+            "select": self._cmd_select,
+            "zoom": self._cmd_zoom,
+            "inputs": self._cmd_inputs,
+            "forms": self._cmd_forms,
+            "metric": self._cmd_metric,
+            "debug": self._cmd_debug,
+            "apply": self._cmd_apply,
+            "undo": self._cmd_undo,
+            "redo": self._cmd_redo,
+            "query": self._cmd_query,
+            "help": self._cmd_help,
+        }
 
     # -- commands ----------------------------------------------------------
 
@@ -238,26 +278,232 @@ class DemoShell:
     def _cmd_query(self, args: list[str]) -> None:
         self._print(self.session.current_sql())
 
+
+class RemoteShell(BaseShell):
+    """The :class:`DemoShell` experience over a live service socket.
+
+    Same command names; every line becomes one wire request through a
+    :class:`~repro.service.client.ServiceClient`.
+    """
+
+    def __init__(self, client, out: TextIO | None = None):
+        super().__init__(out)
+        self.client = client
+        self._commands = {
+            "sql": self._cmd_sql,
+            "show": self._cmd_show,
+            "select": self._cmd_select,
+            "zoom": self._cmd_zoom,
+            "inputs": self._cmd_inputs,
+            "forms": self._cmd_forms,
+            "metric": self._cmd_metric,
+            "debug": self._cmd_debug,
+            "apply": self._cmd_apply,
+            "undo": self._cmd_undo,
+            "redo": self._cmd_redo,
+            "query": self._cmd_query,
+            "snapshot": self._cmd_snapshot,
+            "stats": self._cmd_stats,
+            "help": self._cmd_help,
+        }
+
+    # -- commands ----------------------------------------------------------
+
+    @classmethod
+    def _parse_wire_brush(cls, args: list[str]) -> tuple[dict | list[int], list[str]]:
+        """Parse the shell's brush syntax into wire selections."""
+        selection, rest = cls._parse_brush(args)
+        if isinstance(selection, list):
+            return selection, rest
+        def bound(value: float) -> float | None:
+            return None if not math.isfinite(value) else value
+
+        return (
+            {
+                "x0": bound(selection.x0),
+                "x1": bound(selection.x1),
+                "y0": bound(selection.y0),
+                "y1": bound(selection.y1),
+            },
+            rest,
+        )
+
+    def _cmd_sql(self, args: list[str]) -> None:
+        result = self.client.execute(" ".join(args), max_rows=8)
+        self._debug_agg = None
+        self._print(f"{result['num_rows']} rows")
+        for row in result["rows"]:
+            self._print("  " + "  ".join(str(v) for v in row))
+
+    def _cmd_show(self, args: list[str]) -> None:
+        y = args[0] if args else None
+        self._print(self.client.render(height=14, y=y))
+
+    def _cmd_select(self, args: list[str]) -> None:
+        selection, rest = self._parse_wire_brush(args)
+        y_axis = rest[0] if rest else None
+        if y_axis:
+            self._debug_agg = y_axis
+        kwargs = {"rows": selection} if isinstance(selection, list) else {
+            "brush": selection
+        }
+        rows = self.client.select_results(y=y_axis, **kwargs)
+        self._print(f"selected {len(rows)} suspicious results: {rows[:12]}")
+
+    def _cmd_zoom(self, args: list[str]) -> None:
+        scatter = self.client.zoom()
+        self._print(
+            f"zoomed into {scatter['n']} input tuples "
+            f"(x: {scatter['x_label']}, y: {scatter['y_label']})"
+        )
+
+    def _cmd_inputs(self, args: list[str]) -> None:
+        selection, __ = self._parse_wire_brush(args)
+        kwargs = {"tids": selection} if isinstance(selection, list) else {
+            "brush": selection
+        }
+        tids = self.client.select_inputs(**kwargs)
+        self._print(f"selected {len(tids)} suspicious inputs as D'")
+
+    def _cmd_forms(self, args: list[str]) -> None:
+        for option in self.client.error_form(self._debug_agg):
+            defaults = f"  (default {option['defaults']})" if option["defaults"] else ""
+            self._print(f"  {option['form_id']:10s} {option['label']}{defaults}")
+
+    def _cmd_metric(self, args: list[str]) -> None:
+        if not args:
+            self._print("usage: metric <form_id> [value]")
+            return
+        form_id = args[0]
+        params = {}
+        if len(args) > 1:
+            key = "expected" if form_id == "not_equal" else "threshold"
+            params[key] = float(args[1])
+        metric = self.client.set_metric(form_id, agg=self._debug_agg, **params)
+        self._print(f"metric: {metric}")
+
+    def _cmd_debug(self, args: list[str]) -> None:
+        report = self.client.debug(self._debug_agg, max_rows=8)
+        self._print(
+            f"Ranked predicates — {report['metric']} "
+            f"(eps = {report['epsilon']:.4g})"
+        )
+        for rank, ranked in enumerate(report["predicates"], start=1):
+            self._print(
+                f"{rank:2d}. {ranked['predicate']}  "
+                f"[score={ranked['score']:.3f} "
+                f"Δε={ranked['error_reduction']:.3g}]"
+            )
+
+    def _cmd_apply(self, args: list[str]) -> None:
+        rank = int(args[0]) if args else 1
+        applied = self.client.apply(rank - 1)
+        self._print(f"applied: NOT ({applied['applied']})")
+        self._print(f"{applied['result']['num_rows']} rows after cleaning")
+
+    def _cmd_undo(self, args: list[str]) -> None:
+        self.client.undo()
+        self._print("undone")
+
+    def _cmd_redo(self, args: list[str]) -> None:
+        self.client.redo()
+        self._print("redone")
+
+    def _cmd_query(self, args: list[str]) -> None:
+        self._print(self.client.sql())
+
+    def _cmd_snapshot(self, args: list[str]) -> None:
+        for key, value in self.client.snapshot().items():
+            self._print(f"  {key}: {value}")
+
+    def _cmd_stats(self, args: list[str]) -> None:
+        for key, value in self.client.stats().items():
+            self._print(f"  {key}: {value}")
+
     def _cmd_help(self, args: list[str]) -> None:
         self._print(__doc__ or "")
 
-    @staticmethod
-    def _parse_brush(args: list[str]) -> tuple[Brush | list[int], list[str]]:
-        """Parse ``y> 5`` / ``y< 0`` / ``x= 3`` / ``row 1 2 3`` selections."""
-        if not args:
-            raise ReproError("selection needs an argument; e.g. 'select y> 10'")
-        head = args[0]
-        if head == "row":
-            return [int(a) for a in args[1:]], []
-        if head in ("y>", "y<", "x=") and len(args) >= 2:
-            value = float(args[1])
-            rest = args[2:]
-            if head == "y>":
-                return Brush.above(value), rest
-            if head == "y<":
-                return Brush.below(value), rest
-            return Brush.over_x(value, value), rest
-        raise ReproError(f"cannot parse selection {' '.join(args)!r}")
+
+def _flag_value(argv: list[str], name: str, default: str) -> str:
+    """The value of ``--name value`` in argv (last one wins)."""
+    value = default
+    for i, arg in enumerate(argv):
+        if arg == name and i + 1 < len(argv):
+            value = argv[i + 1]
+    return value
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro serve`` — boot the multi-session service."""
+    from .service import DBWipesServer, SessionManager
+
+    try:
+        host = _flag_value(argv, "--host", "127.0.0.1")
+        port = int(_flag_value(argv, "--port", "8642"))
+        max_sessions = int(_flag_value(argv, "--max-sessions", "64"))
+        ttl = _flag_value(argv, "--ttl", "")
+        manager = SessionManager(
+            max_sessions=max_sessions,
+            ttl_seconds=float(ttl) if ttl else None,
+        )
+        server = DBWipesServer(manager, host=host, port=port)
+    except (ReproError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    bound_host, bound_port = server.address
+    print(
+        f"dbwipes service listening on {bound_host}:{bound_port} "
+        f"(datasets: {', '.join(manager.catalog.names)})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def connect_main(argv: list[str]) -> int:
+    """``python -m repro connect`` — the demo shell over a live socket."""
+    from .service import ServiceClient
+
+    try:
+        host = _flag_value(argv, "--host", "127.0.0.1")
+        port = int(_flag_value(argv, "--port", "8642"))
+        session = _flag_value(argv, "--session", "demo")
+        dataset = _flag_value(argv, "--dataset", "fec")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scripted = "--script" in argv
+    client = ServiceClient(host, port, session=session)
+    try:
+        client.ping()
+    except ReproError as error:
+        print(f"error: cannot reach {host}:{port}: {error}", file=sys.stderr)
+        return 2
+    try:
+        opened = client.open(dataset)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        client.close()
+        return 2
+    shell = RemoteShell(client)
+    bootstrap = opened.get("bootstrap")
+    print(f"Joined session {session!r} on dataset {dataset!r}.")
+    if bootstrap:
+        print(f"  {bootstrap}")
+        shell.run_line(f"sql {bootstrap}")
+    if scripted:
+        shell.run(SCRIPTS.get(dataset, ()))
+        client.close()
+        return 0
+    print("Type 'help' for commands.")
+    shell.repl()
+    client.close()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -266,6 +512,10 @@ def main(argv: list[str] | None = None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv[0] == "connect":
+        return connect_main(argv[1:])
     dataset = argv[0]
     scripted = "--script" in argv[1:]
     try:

@@ -29,7 +29,12 @@ from .predicates import (
     PredicateEnumerator,
     TreeStrategy,
 )
-from .preprocessor import PreprocessResult, Preprocessor
+from .preprocessor import (
+    PreprocessCache,
+    PreprocessResult,
+    Preprocessor,
+    preprocess_key,
+)
 from .ranker import PredicateRanker, RankerWeights
 from .report import DebugReport, RankedPredicate
 
@@ -49,6 +54,7 @@ __all__ = [
     "PredicateEnumerator",
     "PredicateMerger",
     "PredicateRanker",
+    "PreprocessCache",
     "PreprocessResult",
     "Preprocessor",
     "RankedPredicate",
@@ -61,6 +67,7 @@ __all__ = [
     "hull",
     "leave_one_out_influence",
     "metric_from_form",
+    "preprocess_key",
     "subset_epsilon",
     "subset_epsilon_grouped",
 ]

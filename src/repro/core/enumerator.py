@@ -63,13 +63,7 @@ class CandidateSet:
 
     def label_mask(self, table: Table) -> np.ndarray:
         """Boolean labels over ``table``: True where the row is in this set."""
-        tid_set = set(int(t) for t in self.tids)
-        table_tids = np.asarray(table.tids)
-        return np.fromiter(
-            (int(t) in tid_set for t in table_tids),
-            dtype=bool,
-            count=len(table_tids),
-        )
+        return _tid_mask(table, self.tids)
 
 
 class DatasetEnumerator:
@@ -113,7 +107,7 @@ class DatasetEnumerator:
         dprime = self._restrict_to_F(F, dprime_tids)
         candidates: list[CandidateSet] = []
         if len(dprime) > 0:
-            cleaned = self.clean_dprime(F, dprime)
+            cleaned = self.clean_dprime(F, dprime, pre=pre)
             candidates.append(CandidateSet(tids=cleaned, origin="dprime"))
             extension = self._extend_by_influence(pre, cleaned)
             if len(extension) > len(cleaned):
@@ -133,18 +127,25 @@ class DatasetEnumerator:
                 candidates[-1].tids if candidates else np.empty(0, dtype=np.int64)
             )
         if self.extend and len(positives):
-            candidates.extend(self._subgroup_candidates(F, positives))
+            candidates.extend(self._subgroup_candidates(F, positives, pre=pre))
         return self._dedupe(candidates)[: self.max_candidates]
 
     # ------------------------------------------------------------------
 
-    def clean_dprime(self, F: Table, dprime: np.ndarray) -> np.ndarray:
-        """The self-consistent subset of the user's examples."""
+    def clean_dprime(
+        self, F: Table, dprime: np.ndarray, pre: PreprocessResult | None = None
+    ) -> np.ndarray:
+        """The self-consistent subset of the user's examples.
+
+        ``pre`` (when available) supplies shared per-column numeric casts
+        so each cleaning strategy reuses one float64 view of F instead of
+        re-deriving it.
+        """
         if len(dprime) < 4 or self.clean_strategy == "none":
             return dprime
         dprime_table = F.take_tids(dprime)
         if self.clean_strategy == "kmeans":
-            keep = self._kmeans_keep(dprime_table)
+            keep = self._kmeans_keep(dprime_table, F=F, dprime=dprime, pre=pre)
         else:
             keep = self._nb_keep(dprime_table)
         # Cleaning removes *stray* examples; if it would discard close to
@@ -154,13 +155,30 @@ class DatasetEnumerator:
             return dprime
         return dprime[keep]
 
-    def _kmeans_keep(self, dprime_table: Table) -> np.ndarray:
+    def _kmeans_keep(
+        self,
+        dprime_table: Table,
+        F: Table | None = None,
+        dprime: np.ndarray | None = None,
+        pre: PreprocessResult | None = None,
+    ) -> np.ndarray:
         numeric = self._numeric_features(dprime_table)
         if not numeric:
             return np.ones(len(dprime_table), dtype=bool)
-        X = np.column_stack(
-            [np.asarray(dprime_table.column(name), dtype=np.float64) for name in numeric]
-        )
+        if pre is not None and F is not None and F is pre.F and dprime is not None:
+            # Slice the shared float64 casts of F instead of re-casting
+            # the materialized D' table column by column.
+            positions = F.positions_of(dprime)
+            X = np.column_stack(
+                [pre.numeric_values(name)[positions] for name in numeric]
+            )
+        else:
+            X = np.column_stack(
+                [
+                    np.asarray(dprime_table.column(name), dtype=np.float64)
+                    for name in numeric
+                ]
+            )
         X = np.nan_to_num(X, nan=0.0)
         return dominant_cluster_mask(X, seed=self.seed)
 
@@ -190,13 +208,25 @@ class DatasetEnumerator:
         return np.unique(np.concatenate([cleaned, high]))
 
     def _subgroup_candidates(
-        self, F: Table, positives: np.ndarray
+        self, F: Table, positives: np.ndarray, pre: PreprocessResult | None = None
     ) -> list[CandidateSet]:
         labels = _tid_mask(F, positives)
         if not labels.any() or labels.all():
             return []
         features = self._all_features(F)
-        rules = self.subgroup.fit(F, labels, features=features)
+        shared_edges = None
+        if pre is not None and F is pre.F:
+            # Equal-frequency cut points depend only on F's distribution;
+            # compute them once on the PreprocessResult and hand them to
+            # every CN2-SD invocation instead of re-deriving per call.
+            shared_edges = {
+                name: pre.frequency_edges(name, self.subgroup.numeric_bins)
+                for name in features
+                if F.schema.type_of(name).is_numeric
+            }
+        rules = self.subgroup.fit(
+            F, labels, features=features, shared_edges=shared_edges
+        )
         out: list[CandidateSet] = []
         for rule in rules:
             tids = rule.predicate.matching_tids(F)
@@ -219,9 +249,7 @@ class DatasetEnumerator:
         tids = np.asarray(list(dprime_tids), dtype=np.int64)
         if len(tids) == 0:
             return tids
-        present = np.fromiter(
-            (F.contains_tid(int(t)) for t in tids), dtype=bool, count=len(tids)
-        )
+        present = np.isin(tids, np.asarray(F.tids, dtype=np.int64))
         return np.unique(tids[present])
 
     def _numeric_features(self, table: Table) -> list[str]:
@@ -259,8 +287,9 @@ class DatasetEnumerator:
 
 
 def _tid_mask(table: Table, tids: np.ndarray) -> np.ndarray:
-    tid_set = set(int(t) for t in np.asarray(tids).ravel())
-    table_tids = np.asarray(table.tids)
-    return np.fromiter(
-        (int(t) in tid_set for t in table_tids), dtype=bool, count=len(table_tids)
-    )
+    """Vectorized membership: True where the row's tid is in ``tids``."""
+    wanted = np.asarray(tids, dtype=np.int64).ravel()
+    table_tids = np.asarray(table.tids, dtype=np.int64)
+    if len(wanted) == 0 or len(table_tids) == 0:
+        return np.zeros(len(table_tids), dtype=bool)
+    return np.isin(table_tids, wanted)

@@ -23,7 +23,7 @@ from ..learn.subgroup import SubgroupDiscovery
 from .enumerator import DatasetEnumerator
 from .error_metrics import ErrorMetric
 from .predicates import DEFAULT_STRATEGIES, PredicateEnumerator, TreeStrategy
-from .preprocessor import Preprocessor
+from .preprocessor import PreprocessCache, Preprocessor
 from .ranker import PredicateRanker, RankerWeights
 from .report import DebugReport
 
@@ -62,12 +62,25 @@ class PipelineConfig:
 
 
 class RankedProvenance:
-    """The DBWipes backend: from a selection to ranked predicates."""
+    """The DBWipes backend: from a selection to ranked predicates.
 
-    def __init__(self, config: PipelineConfig | None = None):
+    ``preprocess_cache`` (a
+    :class:`~repro.core.preprocessor.PreprocessCache`) may be shared by
+    many pipelines: the serving tier hands every session the same cache
+    so concurrent debugging requests over the same selection reuse one
+    :class:`~repro.core.preprocessor.PreprocessResult`.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        preprocess_cache: "PreprocessCache | None" = None,
+    ):
         self.config = config or PipelineConfig()
         config_ = self.config
-        self._preprocessor = Preprocessor(fast_influence=config_.fast_influence)
+        self._preprocessor = Preprocessor(
+            fast_influence=config_.fast_influence, cache=preprocess_cache
+        )
         self._enumerator = DatasetEnumerator(
             clean_strategy=config_.clean_strategy,
             extend=config_.extend_with_subgroups,
@@ -94,6 +107,11 @@ class RankedProvenance:
             self._merger = PredicateMerger(
                 weights=config_.ranker_weights, max_terms=config_.max_terms
             )
+
+    @property
+    def preprocess_cache(self) -> PreprocessCache | None:
+        """The shared preprocess cache, when one is attached."""
+        return self._preprocessor.cache
 
     def debug(
         self,

@@ -8,12 +8,22 @@ F by how much it influences ε."*
 The fine-grained provenance captured at execution time supplies the
 group→tids map; the statement AST supplies the aggregate argument
 expression so input values can be re-derived for any subset of tuples.
+
+Preprocessing is the most *shareable* stage of the pipeline: its output
+depends only on (base table, query text, S, ε, debugged aggregate) — not
+on D' or any enumerator/ranker tunable. :class:`PreprocessCache` keys on
+exactly that identity so N concurrent sessions debugging the same
+selection of the same query share one :class:`PreprocessResult` (and
+with it the segmented kernels and column discretizations it caches).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from functools import cached_property
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -47,6 +57,11 @@ class PreprocessResult:
     group_values: tuple[np.ndarray, ...]
     #: Per selected group: tids aligned with ``group_values``.
     group_tids: tuple[np.ndarray, ...]
+    #: Memo of per-column artifacts shared across enumerator strategies
+    #: (numeric casts of F's columns, discretization edges). Keyed by
+    #: column name / (column, bins); populated lazily. Races are benign
+    #: (recompute yields an identical value).
+    _column_memo: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def epsilon(self) -> float:
@@ -83,6 +98,40 @@ class PreprocessResult:
         """
         return self.F.take_tids(self.flat_tids)
 
+    # -- shared per-column artifacts ------------------------------------
+
+    def numeric_values(self, column: str) -> np.ndarray:
+        """``F[column]`` as float64, computed once and shared.
+
+        The dataset enumerator's cleaning strategies (k-means, NB) and
+        the rule learners all need numeric casts of the same columns of
+        F; this memo makes the cast happen once per debugging request
+        instead of once per strategy.
+        """
+        key = ("numeric", column)
+        cached = self._column_memo.get(key)
+        if cached is None:
+            cached = np.asarray(self.F.column(column), dtype=np.float64)
+            self._column_memo[key] = cached
+        return cached
+
+    def frequency_edges(self, column: str, bins: int) -> tuple[float, ...]:
+        """Equal-frequency discretization edges of ``F[column]``, shared.
+
+        CN2-SD subgroup discovery (and any other strategy that needs
+        class-agnostic threshold candidates) re-derived these quantile
+        cuts per invocation; they depend only on F's value distribution,
+        so one computation serves every strategy and every candidate.
+        """
+        from ..learn.discretize import equal_frequency_edges
+
+        key = ("freq_edges", column, int(bins))
+        cached = self._column_memo.get(key)
+        if cached is None:
+            cached = tuple(equal_frequency_edges(self.numeric_values(column), bins))
+            self._column_memo[key] = cached
+        return cached
+
     def group_masks_for_tids(self, tids: np.ndarray) -> list[np.ndarray]:
         """Per-group boolean masks marking which group tuples are in ``tids``."""
         wanted = np.unique(np.asarray(tids, dtype=np.int64).ravel())
@@ -92,11 +141,135 @@ class PreprocessResult:
         ]
 
 
+class PreprocessCache:
+    """A thread-safe keyed LRU cache of :class:`PreprocessResult` values.
+
+    Concurrent sessions debugging the same (table, query, S, ε, agg)
+    share one computation: the first requester computes while later
+    requesters for the same key block on an event and then reuse the
+    value. Distinct keys never block each other. Hit/miss/eviction
+    counters feed the service's ``stats`` endpoint and the throughput
+    benchmark.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise PipelineError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, PreprocessCache._Entry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    class _Entry:
+        __slots__ = ("ready", "value", "error")
+
+        def __init__(self) -> None:
+            self.ready = threading.Event()
+            self.value: PreprocessResult | None = None
+            self.error: BaseException | None = None
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], PreprocessResult]
+    ) -> PreprocessResult:
+        """Return the cached value for ``key``, computing it at most once."""
+        owner = False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                entry = PreprocessCache._Entry()
+                self._entries[key] = entry
+                self._misses += 1
+                owner = True
+                while len(self._entries) > self.max_entries:
+                    old_key, old_entry = next(iter(self._entries.items()))
+                    if old_entry is entry:
+                        break
+                    del self._entries[old_key]
+                    self._evictions += 1
+        if owner:
+            try:
+                value = compute()
+            except BaseException as error:
+                # Failed computations are not cached; waiters see the error.
+                entry.error = error
+                entry.ready.set()
+                with self._lock:
+                    if self._entries.get(key) is entry:
+                        del self._entries[key]
+                raise
+            entry.value = value
+            entry.ready.set()
+            return value
+        entry.ready.wait()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.value is not None
+        return entry.value
+
+    def stats(self) -> dict:
+        """Counters: hits, misses, evictions, current entries."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "hit_rate": (self._hits / total) if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def preprocess_key(
+    result: ResultSet,
+    selected_rows: Sequence[int],
+    metric: ErrorMetric,
+    agg_name: str | None,
+) -> Hashable:
+    """The cache identity of a preprocessing request.
+
+    The scanned source table is identified by object identity: sharing
+    only happens between sessions served from one catalog (which hands
+    every session the same :class:`~repro.db.table.Table` object), never
+    between coincidentally equal tables. The statement text captures the
+    WHERE clause, so the post-WHERE base needs no separate identity.
+    """
+    base = result.source
+    # The table object itself (identity-hashed) anchors the key: holding
+    # it in the cache prevents id() reuse after garbage collection.
+    return (
+        base,
+        len(base),
+        result.statement.to_sql(),
+        tuple(int(r) for r in selected_rows),
+        type(metric).__name__,
+        metric.describe(),
+        metric.combine,
+        agg_name,
+    )
+
+
 class Preprocessor:
     """Computes F and the influence ranking for a debugging request."""
 
-    def __init__(self, fast_influence: bool = True):
+    def __init__(
+        self, fast_influence: bool = True, cache: PreprocessCache | None = None
+    ):
         self.fast_influence = fast_influence
+        self.cache = cache
 
     def run(
         self,
@@ -108,8 +281,28 @@ class Preprocessor:
         """Compute :class:`PreprocessResult` for the selection ``S``.
 
         ``agg_name`` picks which aggregate output column is being debugged;
-        it defaults to the first aggregate in the SELECT list.
+        it defaults to the first aggregate in the SELECT list. When a
+        :class:`PreprocessCache` is attached, identical requests (same
+        table object, query, S, ε, aggregate) reuse one result.
         """
+        if self.cache is None:
+            return self._compute(result, selected_rows, metric, agg_name)
+        if agg_name is None and result.aggregate_names:
+            # Normalize the default so explicit and implicit requests for
+            # the first aggregate share one cache entry.
+            agg_name = result.aggregate_names[0]
+        key = preprocess_key(result, selected_rows, metric, agg_name)
+        return self.cache.get_or_compute(
+            key, lambda: self._compute(result, selected_rows, metric, agg_name)
+        )
+
+    def _compute(
+        self,
+        result: ResultSet,
+        selected_rows: list[int] | tuple[int, ...] | np.ndarray,
+        metric: ErrorMetric,
+        agg_name: str | None = None,
+    ) -> PreprocessResult:
         selected = tuple(int(r) for r in selected_rows)
         if not selected:
             raise PipelineError("S is empty: select at least one suspicious result")

@@ -82,6 +82,7 @@ def execute_plan(plan: LogicalPlan, table: Table) -> ResultSet:
         coarse=CoarseProvenance(tuple(ops)),
         group_key_names=key_names,
         aggregate_names=agg_names,
+        source=table,
     )
 
 

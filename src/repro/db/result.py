@@ -31,6 +31,7 @@ class ResultSet:
         coarse: CoarseProvenance,
         group_key_names: tuple[str, ...],
         aggregate_names: tuple[str, ...],
+        source: Table | None = None,
     ):
         self._output = output
         self.statement = statement
@@ -38,6 +39,10 @@ class ResultSet:
         self.coarse = coarse
         self.group_key_names = group_key_names
         self.aggregate_names = aggregate_names
+        #: The table the query scanned (before WHERE). Two executions of
+        #: one query text over the same source object are equivalent —
+        #: that identity keys the cross-session preprocess cache.
+        self.source = source if source is not None else fine.base
 
     @property
     def output(self) -> Table:

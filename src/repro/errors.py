@@ -74,3 +74,19 @@ class PipelineError(ReproError):
 
 class SessionError(ReproError):
     """A frontend session method was called out of order (e.g. debug before select)."""
+
+
+class ServiceError(ReproError):
+    """The serving tier failed (unknown session, server-side error, bad reply).
+
+    When raised client-side for a server-reported error, ``kind`` carries
+    the remote exception class name (e.g. ``"SessionError"``).
+    """
+
+    def __init__(self, message: str, kind: str | None = None):
+        self.kind = kind
+        super().__init__(message)
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the JSON-line protocol (bad JSON, bad shape)."""

@@ -10,11 +10,12 @@ from .render import ascii_scatter, render_predicates_panel, render_query_panel
 from .rewriter import QueryRewriter
 from .scatter import ScatterData, from_result, from_tuples, pca_projection
 from .selection import Brush, union_select
-from .session import DBWipesSession
+from .session import SESSION_STATES, DBWipesSession
 
 __all__ = [
     "Brush",
     "DBWipesSession",
+    "SESSION_STATES",
     "FormOption",
     "QueryRewriter",
     "ScatterData",

@@ -35,12 +35,38 @@ from .scatter import ScatterData, from_result, _as_numeric
 from .selection import Brush, union_select
 
 
-class DBWipesSession:
-    """One user's interactive cleaning session against a database."""
+#: The explicit session states, in the order of the Figure-1 loop.
+#: ``set_metric`` may interleave with selection, so the metric is
+#: tracked separately in :meth:`DBWipesSession.snapshot`; every other
+#: arrow of the loop advances (or resets) the state below.
+SESSION_STATES = (
+    "new",               # no query executed yet
+    "executed",          # execute() ran; nothing selected
+    "results_selected",  # S chosen
+    "zoomed",            # zoomed into F
+    "inputs_selected",   # D' chosen
+    "debugged",          # a ranked report is available
+)
 
-    def __init__(self, db: Database, config: PipelineConfig | None = None):
+
+class DBWipesSession:
+    """One user's interactive cleaning session against a database.
+
+    ``preprocess_cache`` may be a shared
+    :class:`~repro.core.preprocessor.PreprocessCache` so that many
+    sessions served over the same catalog reuse preprocessing work; the
+    serving tier (:mod:`repro.service`) wires one cache into every
+    session it manages.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: PipelineConfig | None = None,
+        preprocess_cache=None,
+    ):
         self.db = db
-        self.pipeline = RankedProvenance(config)
+        self.pipeline = RankedProvenance(config, preprocess_cache=preprocess_cache)
         self._rewriter: QueryRewriter | None = None
         self._result: ResultSet | None = None
         self._selected_rows: tuple[int, ...] = ()
@@ -49,6 +75,45 @@ class DBWipesSession:
         self._metric: ErrorMetric | None = None
         self._agg_name: str | None = None
         self._report: DebugReport | None = None
+        self._state: str = "new"
+
+    @property
+    def state(self) -> str:
+        """Where in the Figure-1 loop this session currently is.
+
+        One of :data:`SESSION_STATES`. Transitions are explicit: each
+        session method that moves the loop forward (or resets it) sets
+        the state it lands in, and the guards that raise
+        :class:`~repro.errors.SessionError` document which states a
+        method accepts.
+        """
+        return self._state
+
+    def snapshot(self) -> dict:
+        """A JSON-safe summary of the session's current state.
+
+        This is the wire-level session view: everything a remote client
+        (or a reconnecting dashboard) needs to re-render its controls
+        without replaying the interaction history.
+        """
+        snapshot: dict = {
+            "state": self._state,
+            "sql": self._rewriter.sql() if self._rewriter is not None else None,
+            "num_rows": self._result.num_rows if self._result is not None else None,
+            "columns": (
+                list(self._result.column_names) if self._result is not None else []
+            ),
+            "selected_rows": [int(r) for r in self._selected_rows],
+            "n_dprime": int(len(self._dprime)),
+            "metric": self._metric.describe() if self._metric is not None else None,
+            "agg_name": self._agg_name,
+            "applied_predicates": [
+                predicate.describe() for predicate in self.applied_predicates
+            ],
+            "can_redo": self._rewriter.can_redo if self._rewriter is not None else False,
+            "n_ranked": len(self._report) if self._report is not None else 0,
+        }
+        return snapshot
 
     # ------------------------------------------------------------------
     # stage 1: execute + visualize
@@ -61,6 +126,7 @@ class DBWipesSession:
         self._result = result
         self._clear_selection()
         self._report = None
+        self._state = "executed"
         return result
 
     @property
@@ -108,6 +174,7 @@ class DBWipesSession:
         self._zoom_table = None
         self._dprime = np.empty(0, dtype=np.int64)
         self._report = None
+        self._state = "results_selected"
         return self._selected_rows
 
     @property
@@ -135,6 +202,7 @@ class DBWipesSession:
         y_label, y_values = self._zoom_axis_y(F, y)
         x_numeric, x_categories = _as_numeric(x_values)
         y_numeric, y_categories = _as_numeric(y_values)
+        self._state = "zoomed"
         return ScatterData(
             x_label=x_label,
             y_label=y_label,
@@ -183,6 +251,7 @@ class DBWipesSession:
                 if not self._zoom_table.contains_tid(int(tid)):
                     raise SessionError(f"tid {int(tid)} is not among the zoomed inputs")
         self._dprime = np.unique(tids)
+        self._state = "inputs_selected"
         return self._dprime
 
     @property
@@ -242,6 +311,7 @@ class DBWipesSession:
             agg_name=self._agg_name or self._default_agg_name(),
         )
         self._report = report
+        self._state = "debugged"
         return report
 
     @property
@@ -262,6 +332,7 @@ class DBWipesSession:
         statement = self._rewriter.apply(predicate)
         self._result = self.db.sql(statement)
         self._clear_selection()
+        self._state = "executed"
         return self._result
 
     def undo_cleaning(self) -> ResultSet:
@@ -271,6 +342,7 @@ class DBWipesSession:
         statement = self._rewriter.undo()
         self._result = self.db.sql(statement)
         self._clear_selection()
+        self._state = "executed"
         return self._result
 
     def redo_cleaning(self) -> ResultSet:
@@ -280,6 +352,7 @@ class DBWipesSession:
         statement = self._rewriter.redo()
         self._result = self.db.sql(statement)
         self._clear_selection()
+        self._state = "executed"
         return self._result
 
     @property

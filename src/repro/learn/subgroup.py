@@ -21,7 +21,7 @@ conditions such as ``temp > 100.3``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -99,8 +99,17 @@ class SubgroupDiscovery:
         table: Table,
         labels: np.ndarray,
         features: Sequence[str] | None = None,
+        shared_edges: Mapping[str, Sequence[float]] | None = None,
     ) -> list[Rule]:
-        """Discover up to ``n_rules`` subgroups of the positive class."""
+        """Discover up to ``n_rules`` subgroups of the positive class.
+
+        ``shared_edges`` optionally supplies precomputed equal-frequency
+        cut points per numeric column (e.g. from a
+        :class:`~repro.core.preprocessor.PreprocessResult` shared across
+        enumerator strategies); they replace the class-agnostic
+        discretization this method would otherwise re-derive. Class-aware
+        MDL cuts still adapt to ``labels``.
+        """
         labels = np.asarray(labels, dtype=bool)
         if len(labels) != len(table):
             raise LearnError("labels length must match table length")
@@ -108,7 +117,7 @@ class SubgroupDiscovery:
             return []
         if features is None:
             features = table.schema.names
-        conditions = self._build_conditions(table, labels, features)
+        conditions = self._build_conditions(table, labels, features, shared_edges)
         if not conditions:
             return []
         weights = np.ones(len(table), dtype=np.float64)
@@ -144,14 +153,21 @@ class SubgroupDiscovery:
     # ------------------------------------------------------------------
 
     def _build_conditions(
-        self, table: Table, labels: np.ndarray, features: Sequence[str]
+        self,
+        table: Table,
+        labels: np.ndarray,
+        features: Sequence[str],
+        shared_edges: Mapping[str, Sequence[float]] | None = None,
     ) -> list[_Condition]:
         conditions: list[_Condition] = []
         for name in features:
             ctype = table.schema.type_of(name)
             values = table.column(name)
             if ctype.is_numeric:
-                edges = self._numeric_edges(values, labels)
+                precomputed = (
+                    shared_edges.get(name) if shared_edges is not None else None
+                )
+                edges = self._numeric_edges(values, labels, precomputed)
                 for edge in edges:
                     low = NumericClause(name, None, float(edge), hi_inclusive=True)
                     high = NumericClause(name, float(edge), None, lo_inclusive=False)
@@ -178,18 +194,28 @@ class SubgroupDiscovery:
             if 0 < int(condition.mask.sum()) < len(table)
         ]
 
-    def _numeric_edges(self, values: np.ndarray, labels: np.ndarray) -> list[float]:
+    def _numeric_edges(
+        self,
+        values: np.ndarray,
+        labels: np.ndarray,
+        precomputed: Sequence[float] | None = None,
+    ) -> list[float]:
         values = np.asarray(values, dtype=np.float64)
+
+        def frequency_edges() -> list[float]:
+            if precomputed is not None:
+                return list(precomputed)
+            return equal_frequency_edges(values, self.numeric_bins)
+
         edges: list[float] = []
         if self.discretizer in ("mdl", "both"):
             edges = mdl_entropy_edges(values, labels)
         if self.discretizer == "frequency" or (
             self.discretizer in ("mdl", "both") and not edges
         ):
-            edges = equal_frequency_edges(values, self.numeric_bins)
+            edges = frequency_edges()
         elif self.discretizer == "both":
-            extra = equal_frequency_edges(values, self.numeric_bins)
-            merged = sorted(set(edges) | set(extra))
+            merged = sorted(set(edges) | set(frequency_edges()))
             edges = merged
         return edges
 

@@ -1,0 +1,34 @@
+"""``repro.service`` — the concurrent multi-session serving tier.
+
+The paper demos DBWipes as a shared interactive system: many attendees
+brushing, zooming, and debugging at once. This package is that serving
+tier for the reproduction:
+
+* :mod:`~repro.service.protocol` — a JSON-line wire protocol exposing
+  every :class:`~repro.frontend.session.DBWipesSession` operation;
+* :mod:`~repro.service.sessions` — :class:`SessionManager`: many named
+  sessions, per-session locks, LRU + TTL eviction;
+* :mod:`~repro.service.cache` — :class:`DatasetCatalog` and the shared
+  :class:`~repro.core.preprocessor.PreprocessCache`, so N sessions over
+  one dataset share one table and one preprocessing result;
+* :mod:`~repro.service.server` — :class:`DBWipesServer`, a
+  dependency-free threaded TCP server;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  client used by tests, benchmarks, and ``python -m repro connect``.
+"""
+
+from .cache import DatasetCatalog, PreprocessCache
+from .client import ServiceClient
+from .protocol import PROTOCOL_VERSION
+from .server import DBWipesServer
+from .sessions import ManagedSession, SessionManager
+
+__all__ = [
+    "DBWipesServer",
+    "DatasetCatalog",
+    "ManagedSession",
+    "PROTOCOL_VERSION",
+    "PreprocessCache",
+    "ServiceClient",
+    "SessionManager",
+]

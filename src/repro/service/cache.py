@@ -1,0 +1,120 @@
+"""Shared read-only state of the service: datasets and preprocess work.
+
+Two levels of sharing make N concurrent sessions cheap:
+
+* :class:`DatasetCatalog` — one :class:`~repro.db.Database` (and thus
+  one :class:`~repro.db.table.Table`) per named dataset, built lazily
+  and handed to every session that opens on that dataset. Because the
+  base table is a shared object, downstream caches can key on object
+  identity.
+* :class:`~repro.core.preprocessor.PreprocessCache` (re-exported here)
+  — one :class:`~repro.core.preprocessor.PreprocessResult` per
+  (table, query, S, ε, aggregate), shared across sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import partial
+from typing import Callable
+
+from ..core.preprocessor import PreprocessCache, preprocess_key
+from ..db import Database
+from ..errors import ServiceError
+
+__all__ = [
+    "DatasetCatalog",
+    "PreprocessCache",
+    "preprocess_key",
+]
+
+
+class DatasetCatalog:
+    """Named, lazily built, shared databases.
+
+    A builder runs at most once; every session opened on the dataset
+    receives the *same* :class:`~repro.db.Database` object. The backing
+    tables are treated as read-only by the service (cleaning happens via
+    query rewriting, never by mutating data), so sharing is safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._builders: dict[str, Callable[[], Database]] = {}
+        self._bootstraps: dict[str, str | None] = {}
+        self._built: dict[str, Database] = {}
+        self._build_locks: dict[str, threading.Lock] = {}
+
+    @classmethod
+    def with_demo_datasets(cls) -> "DatasetCatalog":
+        """A catalog preloaded with the paper's demo datasets (§3).
+
+        The builders and bootstrap queries are the CLI's own (one
+        definition serves both the local shell and the service).
+        """
+        from ..cli import BOOTSTRAP_QUERIES, load_dataset
+
+        catalog = cls()
+        for name, bootstrap in BOOTSTRAP_QUERIES.items():
+            catalog.register(name, partial(load_dataset, name), bootstrap=bootstrap)
+        return catalog
+
+    def register(
+        self,
+        name: str,
+        source: Database | Callable[[], Database],
+        bootstrap: str | None = None,
+    ) -> None:
+        """Register a dataset by prebuilt database or zero-arg builder."""
+        with self._lock:
+            if isinstance(source, Database):
+                self._built[name] = source
+                self._builders.pop(name, None)
+            else:
+                self._builders[name] = source
+                self._built.pop(name, None)
+            self._bootstraps[name] = bootstrap
+            self._build_locks.setdefault(name, threading.Lock())
+
+    def get(self, name: str) -> Database:
+        """The shared database for ``name``, building it on first use."""
+        with self._lock:
+            db = self._built.get(name)
+            if db is not None:
+                return db
+            if name not in self._builders:
+                known = sorted(set(self._builders) | set(self._built))
+                available = ", ".join(known) or "<none>"
+                raise ServiceError(
+                    f"unknown dataset {name!r} (available: {available})",
+                    kind="UnknownDataset",
+                )
+            build_lock = self._build_locks[name]
+        # Build outside the catalog lock (dataset generation can take a
+        # while) but under a per-dataset lock so it happens exactly once.
+        with build_lock:
+            with self._lock:
+                db = self._built.get(name)
+                if db is not None:
+                    return db
+                builder = self._builders[name]
+            db = builder()
+            with self._lock:
+                self._built[name] = db
+            return db
+
+    def bootstrap(self, name: str) -> str | None:
+        """The suggested first query for ``name`` (None when unset)."""
+        with self._lock:
+            return self._bootstraps.get(name)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every registered dataset name, sorted."""
+        with self._lock:
+            return tuple(sorted(set(self._builders) | set(self._built)))
+
+    def is_built(self, name: str) -> bool:
+        """Whether the dataset has been materialized yet."""
+        with self._lock:
+            return name in self._built

@@ -1,0 +1,235 @@
+"""A blocking JSON-line client for the DBWipes service.
+
+:class:`ServiceClient` owns one TCP connection and one session name; its
+methods mirror :class:`~repro.frontend.session.DBWipesSession` so a
+local script ports to the service by swapping the object::
+
+    with ServiceClient(host, port, session="alice") as client:
+        client.open("fec")
+        client.execute(client.bootstrap)
+        client.select_results(brush={"below": 0.0})
+        client.zoom()
+        client.select_inputs(brush={"below": 0.0})
+        client.set_metric("too_low", threshold=0.0)
+        report = client.debug()
+        client.apply(0)
+
+Server-reported failures raise :class:`~repro.errors.ServiceError`
+whose ``kind`` is the server-side exception class name.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from ..errors import ProtocolError, ServiceError
+from .protocol import MAX_LINE_BYTES, decode_line, encode
+
+
+class ServiceClient:
+    """One connection + one (optional) default session name."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        session: str | None = None,
+        timeout: float | None = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.session = session
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._next_id = 0
+        #: The dataset's suggested first query, filled in by :meth:`open`.
+        self.bootstrap: str | None = None
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (the server keeps the session alive)."""
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+
+    def call(self, cmd: str, session: str | None = None, **args: Any) -> Any:
+        """Send one request and block for its response's ``result``."""
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
+        self._next_id += 1
+        request_id = self._next_id
+        request: dict[str, Any] = {"id": request_id, "cmd": cmd}
+        target = session if session is not None else self.session
+        if target is not None:
+            request["session"] = target
+        if args:
+            request["args"] = args
+        payload = encode(request)
+        if len(payload) > MAX_LINE_BYTES:
+            # Sending it would desync the line framing on both ends.
+            raise ProtocolError(
+                f"request exceeds {MAX_LINE_BYTES} bytes; send fewer values"
+            )
+        try:
+            self._sock.sendall(payload)
+            line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}")
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # Truncated response: the stream cannot be re-framed.
+            self.close()
+            raise ProtocolError(
+                f"response exceeds {MAX_LINE_BYTES} bytes or was truncated; "
+                "connection closed"
+            )
+        response = decode_line(line)
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("message", "unknown server error")),
+            kind=error.get("kind"),
+        )
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (mirror DBWipesSession)
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness + protocol version."""
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        """Server counters (sessions, evictions, preprocess cache)."""
+        return self.call("stats")
+
+    def sessions(self) -> list[dict]:
+        """Summaries of every live session."""
+        return self.call("sessions")["sessions"]
+
+    def open(self, dataset: str, session: str | None = None) -> dict:
+        """Open (or rejoin) this client's session on a dataset."""
+        if session is not None:
+            self.session = session
+        if not self.session:
+            raise ServiceError("no session name set; pass session=...")
+        result = self.call("open", dataset=dataset, name=self.session)
+        self.bootstrap = result.get("bootstrap")
+        return result
+
+    def close_session(self) -> dict:
+        """Tear down the server-side session."""
+        return self.call("close")
+
+    def execute(self, sql: str, max_rows: int | None = 200) -> dict:
+        """Run a new query."""
+        return self.call("execute", sql=sql, max_rows=max_rows)
+
+    def result(self, max_rows: int | None = 200) -> dict:
+        """Re-fetch the current result."""
+        return self.call("result", max_rows=max_rows)
+
+    def render(self, width: int = 72, height: int = 14, y: str | None = None) -> str:
+        """The server-rendered ASCII scatterplot."""
+        return self.call("render", width=width, height=height, y=y)["text"]
+
+    def select_results(
+        self,
+        rows: list[int] | None = None,
+        brush: dict | list[dict] | None = None,
+        x: str | None = None,
+        y: str | None = None,
+    ) -> list[int]:
+        """Brush (or list) the suspicious output rows S."""
+        return self.call(
+            "select_results", rows=rows, brush=brush, x=x, y=y
+        )["selected_rows"]
+
+    def zoom(
+        self,
+        x: str | None = None,
+        y: str | None = None,
+        max_points: int | None = 2000,
+    ) -> dict:
+        """Zoom into the input tuples behind S."""
+        return self.call("zoom", x=x, y=y, max_points=max_points)
+
+    def select_inputs(
+        self, tids: list[int] | None = None, brush: dict | list[dict] | None = None
+    ) -> list[int]:
+        """Brush (or list) the suspicious input tuples D'."""
+        return self.call("select_inputs", tids=tids, brush=brush)["dprime"]
+
+    def error_form(self, agg: str | None = None) -> list[dict]:
+        """The error-metric options for the debugged aggregate."""
+        return self.call("error_form", agg=agg)["options"]
+
+    def set_metric(self, form: str, agg: str | None = None, **params: float) -> str:
+        """Choose the error metric ε by form id."""
+        return self.call("set_metric", form=form, agg=agg, params=params)["metric"]
+
+    def debug(self, agg: str | None = None, max_rows: int | None = None) -> dict:
+        """Run ranked provenance; returns the report payload."""
+        return self.call("debug", agg=agg, max_rows=max_rows)
+
+    def apply(self, index: int, max_rows: int | None = 200) -> dict:
+        """Click the ranked predicate at 0-based ``index``."""
+        return self.call("apply", index=index, max_rows=max_rows)
+
+    def undo(self, max_rows: int | None = 200) -> dict:
+        """Undo the most recent cleaning."""
+        return self.call("undo", max_rows=max_rows)
+
+    def redo(self, max_rows: int | None = 200) -> dict:
+        """Re-apply the most recently undone cleaning."""
+        return self.call("redo", max_rows=max_rows)
+
+    def sql(self) -> str:
+        """The session's current query text."""
+        return self.call("sql")["sql"]
+
+    def snapshot(self) -> dict:
+        """The session's state snapshot."""
+        return self.call("snapshot")

@@ -1,0 +1,224 @@
+"""Command dispatch: one wire request in, one response envelope out.
+
+Each handler is a pure function of ``(manager, session_name, args)``.
+Session-scoped handlers run with the target session *borrowed* (under
+its per-session lock), so a handler never observes another client's
+half-applied mutation. Any :class:`~repro.errors.ReproError` becomes an
+error envelope carrying the exception class name; anything else is
+reported as ``InternalError`` without killing the connection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ProtocolError, ReproError
+from ..frontend.session import DBWipesSession
+from . import protocol
+from .sessions import SessionManager
+
+#: Default row/point truncation for result and scatter payloads; clients
+#: can ask for more (or fewer) via ``max_rows`` / ``max_points``.
+DEFAULT_MAX_ROWS = 200
+DEFAULT_MAX_POINTS = 2000
+
+
+def dispatch(manager: SessionManager, message: dict) -> dict:
+    """Handle one decoded request message; always returns an envelope."""
+    request_id = message.get("id")
+    try:
+        cmd, session_name, args = protocol.validate_request(message)
+        if cmd in _SERVER_HANDLERS:
+            result = _SERVER_HANDLERS[cmd](manager, args)
+        elif cmd in _SESSION_HANDLERS:
+            if not session_name:
+                raise ProtocolError(f"command {cmd!r} needs a 'session' field")
+            if cmd == "close":
+                manager.close(session_name)
+                result = {"closed": session_name}
+            else:
+                with manager.borrow(session_name) as session:
+                    result = _SESSION_HANDLERS[cmd](session, args)
+        else:
+            known = sorted(set(_SERVER_HANDLERS) | set(_SESSION_HANDLERS))
+            raise ProtocolError(f"unknown command {cmd!r} (known: {known})")
+    except ReproError as error:
+        kind = getattr(error, "kind", None) or type(error).__name__
+        return protocol.error_response(request_id, kind, str(error))
+    except Exception as error:  # noqa: BLE001 — a handler bug must not kill the server
+        return protocol.error_response(
+            request_id, "InternalError", f"{type(error).__name__}: {error}"
+        )
+    return protocol.ok_response(request_id, result)
+
+
+# ----------------------------------------------------------------------
+# server-scoped commands
+# ----------------------------------------------------------------------
+
+
+def _ping(manager: SessionManager, args: dict) -> dict:
+    return {"pong": True, "version": protocol.PROTOCOL_VERSION}
+
+
+def _stats(manager: SessionManager, args: dict) -> dict:
+    return manager.stats()
+
+
+def _sessions(manager: SessionManager, args: dict) -> dict:
+    return {"sessions": manager.list()}
+
+
+def _open(manager: SessionManager, args: dict) -> dict:
+    name = args.get("name")
+    dataset = args.get("dataset")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("'open' needs a non-empty 'name' string in args")
+    if not isinstance(dataset, str) or not dataset:
+        raise ProtocolError("'open' needs a non-empty 'dataset' string in args")
+    managed = manager.open(name, dataset)
+    return {
+        "session": managed.name,
+        "dataset": managed.dataset,
+        "bootstrap": manager.catalog.bootstrap(dataset),
+        "snapshot": managed.session.snapshot(),
+    }
+
+
+_SERVER_HANDLERS: dict[str, Callable[[SessionManager, dict], Any]] = {
+    "ping": _ping,
+    "stats": _stats,
+    "sessions": _sessions,
+    "open": _open,
+}
+
+
+# ----------------------------------------------------------------------
+# session-scoped commands (run under the session's lock)
+# ----------------------------------------------------------------------
+
+
+def _execute(session: DBWipesSession, args: dict) -> dict:
+    sql = args.get("sql")
+    if not isinstance(sql, str) or not sql.strip():
+        raise ProtocolError("'execute' needs a non-empty 'sql' string in args")
+    result = session.execute(sql)
+    return protocol.result_payload(result, _max_rows(args))
+
+
+def _result(session: DBWipesSession, args: dict) -> dict:
+    return protocol.result_payload(session.result, _max_rows(args))
+
+
+def _render(session: DBWipesSession, args: dict) -> dict:
+    width = int(args.get("width", 72))
+    height = int(args.get("height", 14))
+    y = args.get("y")
+    return {"text": session.render(y=y, width=width, height=height)}
+
+
+def _select_results(session: DBWipesSession, args: dict) -> dict:
+    selection = protocol.selection_from_args(args, "rows")
+    x = args.get("x")
+    y = args.get("y")
+    rows = session.select_results(selection, x=x, y=y)
+    return {"selected_rows": list(rows)}
+
+
+def _zoom(session: DBWipesSession, args: dict) -> dict:
+    scatter = session.zoom(x=args.get("x"), y=args.get("y"))
+    max_points = args.get("max_points", DEFAULT_MAX_POINTS)
+    return protocol.scatter_payload(
+        scatter, None if max_points is None else int(max_points)
+    )
+
+
+def _select_inputs(session: DBWipesSession, args: dict) -> dict:
+    selection = protocol.selection_from_args(args, "tids")
+    dprime = session.select_inputs(selection)
+    return {"n_dprime": len(dprime), "dprime": dprime}
+
+
+def _error_form(session: DBWipesSession, args: dict) -> dict:
+    options = session.error_form(args.get("agg"))
+    return {"options": protocol.forms_payload(options)}
+
+
+def _set_metric(session: DBWipesSession, args: dict) -> dict:
+    form = args.get("form")
+    if not isinstance(form, str) or not form:
+        raise ProtocolError("'set_metric' needs a 'form' id string in args")
+    params = args.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object when present")
+    metric = session.set_metric(form, agg_name=args.get("agg"), **params)
+    return {"metric": metric.describe()}
+
+
+def _debug(session: DBWipesSession, args: dict) -> dict:
+    report = session.debug(args.get("agg"))
+    return protocol.report_payload(report, args.get("max_rows"))
+
+
+def _apply(session: DBWipesSession, args: dict) -> dict:
+    index = args.get("index")
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise ProtocolError("'apply' needs an integer 'index' (0-based rank) in args")
+    result = session.apply_predicate(index)
+    applied = session.applied_predicates[-1]
+    return {
+        "applied": applied.describe(),
+        "applied_sql": applied.to_sql(),
+        "sql": session.current_sql(),
+        "result": protocol.result_payload(result, _max_rows(args)),
+    }
+
+
+def _undo(session: DBWipesSession, args: dict) -> dict:
+    result = session.undo_cleaning()
+    return {
+        "sql": session.current_sql(),
+        "result": protocol.result_payload(result, _max_rows(args)),
+    }
+
+
+def _redo(session: DBWipesSession, args: dict) -> dict:
+    result = session.redo_cleaning()
+    return {
+        "sql": session.current_sql(),
+        "result": protocol.result_payload(result, _max_rows(args)),
+    }
+
+
+def _sql(session: DBWipesSession, args: dict) -> dict:
+    return {"sql": session.current_sql()}
+
+
+def _snapshot(session: DBWipesSession, args: dict) -> dict:
+    return session.snapshot()
+
+
+def _max_rows(args: dict) -> int | None:
+    max_rows = args.get("max_rows", DEFAULT_MAX_ROWS)
+    return None if max_rows is None else int(max_rows)
+
+
+_SESSION_HANDLERS: dict[str, Callable[[DBWipesSession, dict], Any]] = {
+    "execute": _execute,
+    "result": _result,
+    "render": _render,
+    "select_results": _select_results,
+    "zoom": _zoom,
+    "select_inputs": _select_inputs,
+    "error_form": _error_form,
+    "set_metric": _set_metric,
+    "debug": _debug,
+    "apply": _apply,
+    "undo": _undo,
+    "redo": _redo,
+    "sql": _sql,
+    "snapshot": _snapshot,
+    "close": lambda session, args: {},  # handled in dispatch (needs the manager)
+}

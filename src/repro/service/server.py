@@ -1,0 +1,156 @@
+"""The concurrent DBWipes server: JSON lines over TCP.
+
+A thread-per-connection :class:`socketserver.ThreadingTCPServer` whose
+handler reads newline-delimited JSON requests and writes one response
+line per request (see :mod:`repro.service.protocol`). All shared state
+lives in the :class:`~repro.service.sessions.SessionManager`; the server
+itself is just transport.
+
+Dependency-free by design: the standard library's ``socketserver`` plus
+the repo's own session/pipeline code — nothing to install, so the demo
+serves from any laptop (and the same wire protocol can later be fronted
+by an async or sharded transport without touching the handlers).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from .handlers import dispatch
+from .protocol import MAX_LINE_BYTES, decode_line, encode, error_response
+from .sessions import SessionManager
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of (read line, dispatch, write line)."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed the connection
+            if not line.endswith(b"\n"):
+                # Oversized (truncated by the readline limit) or a partial
+                # final line: the stream cannot be resynchronized to the
+                # next request boundary, so report and close — never parse
+                # the remainder as if it were a fresh request.
+                self._write(
+                    error_response(
+                        None,
+                        "ProtocolError",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes "
+                        "or is truncated; closing connection",
+                    )
+                )
+                return
+            if line.strip() == b"":
+                continue
+            if not self._write(self._respond_to(line)):
+                return
+
+    def _write(self, response: dict) -> bool:
+        data = encode(response)
+        if len(data) > MAX_LINE_BYTES:
+            # Never emit a line the client cannot frame; tell it to
+            # request less instead.
+            data = encode(
+                error_response(
+                    response.get("id"),
+                    "ProtocolError",
+                    f"response exceeds {MAX_LINE_BYTES} bytes; "
+                    "request fewer rows/points (max_rows / max_points)",
+                )
+            )
+        try:
+            self.wfile.write(data)
+            self.wfile.flush()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    def _respond_to(self, line: bytes) -> dict:
+        try:
+            message = decode_line(line)
+        except Exception as error:
+            return error_response(None, type(error).__name__, str(error))
+        return dispatch(self.server.manager, message)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], manager: SessionManager):
+        super().__init__(address, _RequestHandler)
+        self.manager = manager
+
+
+class DBWipesServer:
+    """The serving tier: many sessions, one process, one port.
+
+    >>> server = DBWipesServer(port=0)      # 0 = pick a free port
+    >>> host, port = server.start()         # background thread
+    >>> ...                                 # clients connect
+    >>> server.stop()
+
+    ``serve_forever()`` is the blocking entry used by
+    ``python -m repro serve``.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+    ):
+        self.manager = manager if manager is not None else SessionManager()
+        self._server = _TCPServer((host, port), self.manager)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolved even when created with port 0."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        """Serve from a daemon thread; returns the bound address."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="dbwipes-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` or interrupt."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DBWipesServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def connect_socket(host: str, port: int, timeout: float | None) -> socket.socket:
+    """A connected TCP socket (shared by the client and health checks)."""
+    return socket.create_connection((host, port), timeout=timeout)

@@ -1,0 +1,234 @@
+"""Session lifecycle for the serving tier.
+
+A :class:`SessionManager` owns many named
+:class:`~repro.frontend.session.DBWipesSession` objects, giving the
+single-user session abstraction the properties a server needs:
+
+* **per-session locks** — two clients driving the same session name
+  serialize, so the Figure-1 state machine never sees interleaved
+  mutations;
+* **LRU eviction** — at most ``max_sessions`` live sessions; opening
+  one more silently drops the least recently used (a conference demo's
+  attendees walk away without logging out);
+* **TTL expiry** — sessions idle longer than ``ttl_seconds`` are
+  reaped lazily on any manager access (no background thread needed);
+* **shared read-only state** — every session gets the catalog's shared
+  :class:`~repro.db.Database` and the manager-wide
+  :class:`~repro.core.preprocessor.PreprocessCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from ..core.pipeline import PipelineConfig
+from ..errors import ServiceError
+from ..frontend.session import DBWipesSession
+from .cache import DatasetCatalog, PreprocessCache
+
+
+class ManagedSession:
+    """One named session plus its lock and bookkeeping."""
+
+    __slots__ = (
+        "name",
+        "dataset",
+        "session",
+        "lock",
+        "created_at",
+        "last_used",
+        "requests",
+    )
+
+    def __init__(
+        self, name: str, dataset: str, session: DBWipesSession, now: float
+    ):
+        self.name = name
+        self.dataset = dataset
+        self.session = session
+        self.lock = threading.RLock()
+        self.created_at = now
+        self.last_used = now
+        self.requests = 0
+
+    def info(self, now: float) -> dict:
+        """A JSON-safe summary for the ``sessions`` command."""
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "state": self.session.state,
+            "requests": self.requests,
+            "idle_seconds": max(0.0, now - self.last_used),
+            "age_seconds": max(0.0, now - self.created_at),
+        }
+
+
+class SessionManager:
+    """Thread-safe registry of named sessions with LRU + TTL eviction."""
+
+    def __init__(
+        self,
+        catalog: DatasetCatalog | None = None,
+        config: PipelineConfig | None = None,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        preprocess_cache: PreprocessCache | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ServiceError("max_sessions must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServiceError("ttl_seconds must be positive (or None)")
+        # "is not None" coalescing: SessionManager and PreprocessCache
+        # define __len__, so an empty-but-real instance is falsy.
+        self.catalog = (
+            catalog if catalog is not None else DatasetCatalog.with_demo_datasets()
+        )
+        self.config = config
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self.preprocess_cache = (
+            preprocess_cache if preprocess_cache is not None else PreprocessCache()
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: name -> ManagedSession, in least-recently-used-first order.
+        self._sessions: OrderedDict[str, ManagedSession] = OrderedDict()
+        self._lru_evictions = 0
+        self._ttl_evictions = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self, name: str, dataset: str) -> ManagedSession:
+        """Create (or return) the named session over a shared dataset.
+
+        Reopening an existing name on the same dataset is idempotent;
+        reopening it on a *different* dataset is an error (close first).
+        """
+        if not name:
+            raise ServiceError("session name must be non-empty")
+        db = self.catalog.get(dataset)  # outside the lock: may build
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            existing = self._sessions.get(name)
+            if existing is not None:
+                if existing.dataset != dataset:
+                    raise ServiceError(
+                        f"session {name!r} is open on dataset "
+                        f"{existing.dataset!r}; close it before reopening "
+                        f"on {dataset!r}"
+                    )
+                self._touch_locked(existing, now)
+                return existing
+            session = DBWipesSession(
+                db, config=self.config, preprocess_cache=self.preprocess_cache
+            )
+            managed = ManagedSession(name, dataset, session, now)
+            self._sessions[name] = managed
+            while len(self._sessions) > self.max_sessions:
+                evicted_name, __ = self._sessions.popitem(last=False)
+                self._lru_evictions += 1
+                if evicted_name == name:  # cannot happen (just appended)
+                    break
+            return managed
+
+    def get(self, name: str) -> ManagedSession:
+        """Look up a live session; raises ServiceError when unknown."""
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            managed = self._sessions.get(name)
+            if managed is None:
+                raise ServiceError(
+                    f"unknown session {name!r}; open it first",
+                    kind="UnknownSession",
+                )
+            self._touch_locked(managed, now)
+            return managed
+
+    @contextmanager
+    def borrow(self, name: str) -> Iterator[DBWipesSession]:
+        """Exclusive access to a session for one request.
+
+        Bumps LRU recency and the request counter, then yields the
+        underlying :class:`DBWipesSession` under its per-session lock.
+        """
+        managed = self.get(name)
+        with managed.lock:
+            managed.requests += 1
+            yield managed.session
+
+    def close(self, name: str) -> None:
+        """Drop a session explicitly."""
+        with self._lock:
+            if self._sessions.pop(name, None) is None:
+                raise ServiceError(
+                    f"unknown session {name!r}", kind="UnknownSession"
+                )
+
+    def evict_expired(self) -> int:
+        """Reap TTL-expired sessions now; returns how many were dropped."""
+        with self._lock:
+            return self._expire_locked(self._clock())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def list(self) -> list[dict]:
+        """Summaries of every live session, least recently used first."""
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            return [managed.info(now) for managed in self._sessions.values()]
+
+    def stats(self) -> dict:
+        """Manager counters plus the shared preprocess-cache counters."""
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            return {
+                "sessions": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "ttl_seconds": self.ttl_seconds,
+                "lru_evictions": self._lru_evictions,
+                "ttl_evictions": self._ttl_evictions,
+                "datasets": list(self.catalog.names),
+                "preprocess_cache": self.preprocess_cache.stats(),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sessions
+
+    # ------------------------------------------------------------------
+    # internals (callers hold self._lock)
+    # ------------------------------------------------------------------
+
+    def _touch_locked(self, managed: ManagedSession, now: float) -> None:
+        managed.last_used = now
+        self._sessions.move_to_end(managed.name)
+
+    def _expire_locked(self, now: float) -> int:
+        if self.ttl_seconds is None:
+            return 0
+        expired = [
+            name
+            for name, managed in self._sessions.items()
+            if now - managed.last_used > self.ttl_seconds
+        ]
+        for name in expired:
+            del self._sessions[name]
+            self._ttl_evictions += 1
+        return len(expired)

@@ -124,3 +124,30 @@ class TestCandidates:
         candidate = CandidateSet(tids=bad_tids, origin="test")
         mask = candidate.label_mask(pre.F)
         assert int(mask.sum()) == len(bad_tids)
+
+    def test_label_mask_parity_with_per_row_loop(self, anomaly_setup):
+        """The np.isin vectorization matches the original set-lookup loop."""
+        pre, bad_tids = anomaly_setup
+        rng = np.random.default_rng(3)
+        cases = [
+            bad_tids,
+            np.empty(0, dtype=np.int64),
+            np.array([int(pre.F.tids[0])]),
+            np.array([99999, -1]),  # tids absent from F
+            rng.choice(np.asarray(pre.F.tids), size=7, replace=False),
+        ]
+        for tids in cases:
+            candidate = CandidateSet(tids=np.asarray(tids, dtype=np.int64),
+                                     origin="parity")
+            vectorized = candidate.label_mask(pre.F)
+            tid_set = set(int(t) for t in tids)
+            loop = np.fromiter(
+                (int(t) in tid_set for t in np.asarray(pre.F.tids)),
+                dtype=bool,
+                count=len(pre.F),
+            )
+            np.testing.assert_array_equal(vectorized, loop)
+        empty = Table.from_columns({"x": np.empty(0, dtype=np.float64)})
+        assert CandidateSet(
+            tids=bad_tids, origin="parity"
+        ).label_mask(empty).shape == (0,)

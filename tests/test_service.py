@@ -1,0 +1,479 @@
+"""The serving tier: wire protocol, concurrency, eviction, shared caches.
+
+Uses a small deterministic "toy" dataset (one bad group driven by a
+categorical tag) so every socket round-trip stays fast; the FEC-scale
+closed-loop run lives in ``benchmarks/test_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.db import Database, Table
+from repro.errors import ProtocolError, ServiceError
+from repro.frontend import Brush, DBWipesSession
+from repro.service import (
+    DBWipesServer,
+    DatasetCatalog,
+    PreprocessCache,
+    ServiceClient,
+    SessionManager,
+)
+from repro.service.protocol import brush_from_json, decode_line, encode, jsonify
+
+TOY_SQL = "SELECT g, avg(v) AS avg_v FROM toy GROUP BY g ORDER BY g"
+
+
+def toy_table() -> Table:
+    rng = np.random.default_rng(7)
+    n_groups, per = 6, 30
+    g = np.repeat(np.arange(n_groups), per)
+    v = rng.normal(1.0, 0.1, n_groups * per)
+    tag = np.array(["ok"] * (n_groups * per), dtype=object)
+    bad = (g == 3) & (np.arange(n_groups * per) % per < 8)
+    v[bad] += 100.0
+    tag[bad] = "bad"
+    return Table.from_columns({"g": g, "v": v, "tag": tag}, name="toy")
+
+
+def toy_catalog(table: Table) -> DatasetCatalog:
+    catalog = DatasetCatalog()
+
+    def build() -> Database:
+        db = Database()
+        db.register(table)
+        return db
+
+    catalog.register("toy", build, bootstrap=TOY_SQL)
+    return catalog
+
+
+def run_debug_cycle(client: ServiceClient) -> dict:
+    """The scripted toy debug cycle; returns the report payload."""
+    client.open("toy")
+    client.execute(TOY_SQL)
+    client.select_results(brush={"above": 5.0})
+    client.zoom()
+    client.select_inputs(brush={"above": 50.0})
+    client.set_metric("too_high", threshold=2.0)
+    return client.debug()
+
+
+@pytest.fixture(scope="module")
+def shared_table():
+    return toy_table()
+
+
+@pytest.fixture(scope="module")
+def server(shared_table):
+    manager = SessionManager(catalog=toy_catalog(shared_table))
+    with DBWipesServer(manager, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port, session="roundtrip", timeout=60) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def reference_report(shared_table):
+    """The single-session answer the service must reproduce."""
+    db = Database()
+    db.register(shared_table.rename("toy"))
+    session = DBWipesSession(db)
+    session.execute(TOY_SQL)
+    session.select_results(Brush.above(5.0))
+    session.zoom()
+    session.select_inputs(Brush.above(50.0))
+    session.set_metric("too_high", threshold=2.0)
+    return session.debug()
+
+
+class TestProtocolHelpers:
+    def test_jsonify_numpy_and_nonfinite(self):
+        value = {
+            "i": np.int64(3),
+            "f": np.float64(1.5),
+            "nan": float("nan"),
+            "inf": np.inf,
+            "arr": np.asarray([1, 2]),
+            "bool": np.bool_(True),
+            "nested": (np.float32(2.0), {"k": np.nan}),
+        }
+        out = jsonify(value)
+        assert out == {
+            "i": 3,
+            "f": 1.5,
+            "nan": None,
+            "inf": None,
+            "arr": [1, 2],
+            "bool": True,
+            "nested": [2.0, {"k": None}],
+        }
+        json.dumps(out, allow_nan=False)  # strict-JSON safe
+
+    def test_encode_decode_round_trip(self):
+        message = {"id": 1, "cmd": "ping", "args": {"x": [1.0, None]}}
+        assert decode_line(encode(message)) == message
+
+    def test_decode_rejects_bad_payloads(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2]\n")
+
+    def test_brush_from_json_forms(self):
+        assert brush_from_json({"above": 2.0}) == Brush.above(2.0)
+        assert brush_from_json({"below": 2.0}) == Brush.below(2.0)
+        assert brush_from_json({"y1": 0.0}) == Brush(
+            -np.inf, np.inf, -np.inf, 0.0
+        )
+        with pytest.raises(ProtocolError):
+            brush_from_json({"weird": 1})
+        with pytest.raises(ProtocolError):
+            brush_from_json({"x0": "a"})
+
+
+class TestProtocolRoundTrip:
+    """Every wire command, one live socket."""
+
+    def test_full_command_surface(self, client, reference_report):
+        pong = client.ping()
+        assert pong["pong"] is True and pong["version"] == 1
+
+        opened = client.open("toy")
+        assert opened["dataset"] == "toy"
+        assert opened["bootstrap"] == TOY_SQL
+        assert opened["snapshot"]["state"] == "new"
+
+        result = client.execute(TOY_SQL)
+        assert result["columns"] == ["g", "avg_v"]
+        assert result["num_rows"] == 6
+        assert result["aggregates"] == ["avg_v"]
+        assert not result["truncated"]
+
+        again = client.result(max_rows=2)
+        assert again["truncated"] and len(again["rows"]) == 2
+
+        text = client.render()
+        assert "avg_v" in text
+
+        selected = client.select_results(brush={"above": 5.0})
+        assert selected == [3]
+
+        scatter = client.zoom()
+        assert scatter["n"] == 30
+        assert scatter["x_label"] == "g" and scatter["y_label"] == "v"
+        assert len(scatter["keys"]) == 30
+
+        dprime = client.select_inputs(brush={"above": 50.0})
+        assert len(dprime) == 8
+
+        options = client.error_form()
+        assert [o["form_id"] for o in options] == ["too_high", "too_low", "not_equal"]
+
+        metric = client.set_metric("too_high", threshold=2.0)
+        assert metric == "values are too high (expected <= 2)"
+
+        report = client.debug()
+        assert report["n_predicates"] == len(reference_report)
+        assert (
+            report["predicates"][0]["predicate"]
+            == reference_report.best.predicate.describe()
+        )
+        assert report["epsilon"] == pytest.approx(reference_report.epsilon)
+        assert set(report["timings"]) == {
+            "preprocess",
+            "enumerate_datasets",
+            "enumerate_predicates",
+            "rank",
+        }
+
+        applied = client.apply(0)
+        assert applied["applied"] == reference_report.best.predicate.describe()
+        assert "WHERE (NOT (" in applied["sql"]
+        cleaned = np.asarray(
+            [row[1] for row in applied["result"]["rows"]], dtype=np.float64
+        )
+        assert cleaned.max() < 5.0
+
+        undone = client.undo()
+        assert "NOT" not in undone["sql"]
+        redone = client.redo()
+        assert "NOT" in redone["sql"]
+        assert client.sql() == redone["sql"]
+
+        snapshot = client.snapshot()
+        assert snapshot["state"] == "executed"
+        assert snapshot["applied_predicates"] == [
+            reference_report.best.predicate.describe()
+        ]
+
+        names = [s["name"] for s in client.sessions()]
+        assert "roundtrip" in names
+        stats = client.stats()
+        assert stats["sessions"] >= 1
+        assert stats["preprocess_cache"]["entries"] >= 1
+
+        assert client.close_session() == {"closed": "roundtrip"}
+        with pytest.raises(ServiceError) as excinfo:
+            client.snapshot()
+        assert excinfo.value.kind == "UnknownSession"
+
+    def test_selection_by_explicit_lists(self, client):
+        client.open("toy")
+        client.execute(TOY_SQL)
+        assert client.select_results(rows=[3]) == [3]
+        scatter = client.zoom()
+        hot = [
+            k
+            for k, y in zip(scatter["keys"], scatter["y"])
+            if y is not None and y > 50.0
+        ]
+        assert client.select_inputs(tids=hot) == sorted(hot)
+        client.close_session()
+
+    def test_debug_without_dprime_uses_influence_fallback(self, client):
+        client.open("toy")
+        client.execute(TOY_SQL)
+        client.select_results(rows=[3])
+        client.set_metric("too_high", threshold=2.0)
+        report = client.debug()
+        assert report["n_dprime"] == 0
+        assert report["n_predicates"] > 0
+        assert any(
+            p["candidate_origin"].startswith("influence@")
+            for p in report["predicates"]
+        )
+        client.close_session()
+
+
+class TestConcurrentClients:
+    def test_eight_clients_distinct_sessions_share_preprocess(self, shared_table,
+                                                              reference_report):
+        manager = SessionManager(catalog=toy_catalog(shared_table))
+        with DBWipesServer(manager, port=0) as server:
+            host, port = server.address
+
+            def one_client(i: int) -> str:
+                with ServiceClient(
+                    host, port, session=f"client-{i}", timeout=120
+                ) as c:
+                    report = run_debug_cycle(c)
+                    return report["predicates"][0]["predicate"]
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                tops = list(pool.map(one_client, range(8)))
+
+        expected = reference_report.best.predicate.describe()
+        assert tops == [expected] * 8
+        stats = manager.preprocess_cache.stats()
+        # One computation, seven cross-session hits: the debug requests
+        # target the same (table, sql, S, metric, agg) identity.
+        assert stats["misses"] == 1
+        assert stats["hits"] == 7
+        assert stats["entries"] == 1
+        assert stats["hit_rate"] > 0
+
+    def test_same_session_requests_serialize(self, server):
+        host, port = server.address
+        with ServiceClient(host, port, session="shared-name", timeout=120) as c:
+            c.open("toy")
+
+        def hammer(i: int) -> int:
+            with ServiceClient(host, port, session="shared-name", timeout=120) as c:
+                result = c.execute(TOY_SQL)
+                c.select_results(rows=[3])
+                return result["num_rows"]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            rows = list(pool.map(hammer, range(8)))
+        assert rows == [6] * 8
+
+
+class TestSessionManagerEviction:
+    def make_manager(self, shared_table, **kwargs) -> SessionManager:
+        return SessionManager(catalog=toy_catalog(shared_table), **kwargs)
+
+    def test_lru_eviction_drops_least_recently_used(self, shared_table):
+        manager = self.make_manager(shared_table, max_sessions=2)
+        manager.open("a", "toy")
+        manager.open("b", "toy")
+        manager.get("a")  # bump a's recency: b is now LRU
+        manager.open("c", "toy")
+        assert "a" in manager and "c" in manager
+        assert "b" not in manager
+        assert manager.stats()["lru_evictions"] == 1
+        with pytest.raises(ServiceError):
+            manager.get("b")
+
+    def test_ttl_expiry_is_lazy_and_counted(self, shared_table):
+        now = [0.0]
+        manager = self.make_manager(
+            shared_table, ttl_seconds=10.0, clock=lambda: now[0]
+        )
+        manager.open("a", "toy")
+        now[0] = 5.0
+        manager.get("a")  # refreshes last_used
+        now[0] = 14.0
+        assert "a" in manager  # 9s idle: still alive
+        assert len(manager.list()) == 1
+        now[0] = 25.0
+        assert manager.list() == []
+        assert manager.stats()["ttl_evictions"] == 1
+        with pytest.raises(ServiceError) as excinfo:
+            manager.get("a")
+        assert excinfo.value.kind == "UnknownSession"
+
+    def test_reopen_same_name_same_dataset_is_idempotent(self, shared_table):
+        manager = self.make_manager(shared_table)
+        first = manager.open("a", "toy")
+        again = manager.open("a", "toy")
+        assert first is again
+
+    def test_reopen_on_other_dataset_is_an_error(self, shared_table):
+        manager = self.make_manager(shared_table)
+        manager.catalog.register("toy2", lambda: toy_catalog(shared_table).get("toy"))
+        manager.open("a", "toy")
+        with pytest.raises(ServiceError):
+            manager.open("a", "toy2")
+
+    def test_sessions_share_one_database_object(self, shared_table):
+        manager = self.make_manager(shared_table)
+        a = manager.open("a", "toy")
+        b = manager.open("b", "toy")
+        assert a.session.db is b.session.db
+
+
+class TestMalformedRequests:
+    def raw_exchange(self, server, payload: bytes) -> dict:
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(payload)
+            line = sock.makefile("rb").readline()
+        return json.loads(line)
+
+    def test_invalid_json_gets_protocol_error_envelope(self, server):
+        response = self.raw_exchange(server, b"this is not json\n")
+        assert response["ok"] is False
+        assert response["id"] is None
+        assert response["error"]["kind"] == "ProtocolError"
+
+    def test_non_object_request(self, server):
+        response = self.raw_exchange(server, b"[1, 2, 3]\n")
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "ProtocolError"
+
+    def test_missing_cmd_echoes_id(self, server):
+        response = self.raw_exchange(server, b'{"id": 42}\n')
+        assert response["ok"] is False
+        assert response["id"] == 42
+        assert response["error"]["kind"] == "ProtocolError"
+
+    def test_unknown_command(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("frobnicate")
+        assert excinfo.value.kind == "ProtocolError"
+        assert "unknown command" in str(excinfo.value)
+
+    def test_session_command_without_session(self, server):
+        host, port = server.address
+        with ServiceClient(host, port, session=None, timeout=30) as c:
+            with pytest.raises(ServiceError) as excinfo:
+                c.call("execute", sql=TOY_SQL)
+        assert excinfo.value.kind == "ProtocolError"
+
+    def test_unknown_session_kind(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("execute", session="never-opened", sql=TOY_SQL)
+        assert excinfo.value.kind == "UnknownSession"
+
+    def test_out_of_order_session_calls_surface_session_errors(self, client):
+        client.open("toy")
+        with pytest.raises(ServiceError) as excinfo:
+            client.debug()
+        assert excinfo.value.kind == "SessionError"
+        client.close_session()
+
+    def test_selection_needs_exactly_one_form(self, client):
+        client.open("toy")
+        client.execute(TOY_SQL)
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("select_results")
+        assert excinfo.value.kind == "ProtocolError"
+        with pytest.raises(ServiceError):
+            client.call("select_results", rows=[1], brush={"above": 0.0})
+        client.close_session()
+
+    def test_open_requires_known_dataset(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.open("nope")
+        assert excinfo.value.kind == "UnknownDataset"
+
+    def test_oversized_request_is_rejected_without_desync(self, server):
+        from repro.service.protocol import MAX_LINE_BYTES
+
+        host, port = server.address
+        # Client-side guard: an over-limit request never hits the wire.
+        with ServiceClient(host, port, session="big", timeout=30) as c:
+            with pytest.raises(ProtocolError):
+                c.call("select_inputs", tids=list(range(2_000_000)))
+            # The connection is still framed correctly afterwards.
+            assert c.ping()["pong"] is True
+        # Server-side guard: a raw oversized line gets one error envelope
+        # and a closed connection (never parsed as two requests).
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b'{"cmd": "ping", "pad": "' + b"x" * MAX_LINE_BYTES)
+            sock.sendall(b'"}\n')
+            reader = sock.makefile("rb")
+            response = json.loads(reader.readline())
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "ProtocolError"
+            assert reader.readline() == b""  # connection closed, no second envelope
+
+    def test_server_survives_malformed_then_serves(self, server):
+        self.raw_exchange(server, b"garbage\n")
+        host, port = server.address
+        with ServiceClient(host, port, session="after-garbage") as c:
+            assert c.ping()["pong"] is True
+
+
+class TestSharedPreprocessCacheRegression:
+    def test_two_sessions_same_dataset_one_cache_entry(self, shared_table,
+                                                       reference_report):
+        cache = PreprocessCache()
+        manager = SessionManager(
+            catalog=toy_catalog(shared_table), preprocess_cache=cache
+        )
+        with DBWipesServer(manager, port=0) as server:
+            host, port = server.address
+            tops = []
+            for name in ("first", "second"):
+                with ServiceClient(host, port, session=name, timeout=120) as c:
+                    report = run_debug_cycle(c)
+                    tops.append(report["predicates"][0]["predicate"])
+        expected = reference_report.best.predicate.describe()
+        assert tops == [expected, expected]
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+
+    def test_preprocess_cache_lru_eviction_counts(self):
+        cache = PreprocessCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda: object())  # type: ignore[arg-type]
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # "a" was evicted: recomputing it is a miss.
+        cache.get_or_compute("a", lambda: object())  # type: ignore[arg-type]
+        assert cache.stats()["misses"] == 4
