@@ -42,6 +42,9 @@ class PipelineConfig:
     influence_quantile: float = 0.75
     #: Tree strategies for the predicate enumerator (the paper's m).
     strategies: tuple[TreeStrategy, ...] = DEFAULT_STRATEGIES
+    #: Split-finding algorithm: "hist" (shared SplitIndex + histogram
+    #: kernels) or "exact" (per-threshold reference; ablation only).
+    tree_algorithm: str = "hist"
     #: Columns usable in predicates (None = every column of F).
     feature_columns: tuple[str, ...] | None = None
     #: Minimum positive-leaf precision for tree rules.
@@ -95,6 +98,7 @@ class RankedProvenance:
             feature_columns=config_.feature_columns,
             min_precision=config_.min_precision,
             weight_by_influence=config_.weight_by_influence,
+            tree_algorithm=config_.tree_algorithm,
             seed=config_.seed,
         )
         self._ranker = PredicateRanker(

@@ -10,6 +10,13 @@ Each positive root-to-leaf path of each tree becomes a predicate; the
 subgroup rule that generated a candidate (when present) is included
 directly. Sample weights can optionally be biased by influence so that
 high-influence tuples dominate the split choices.
+
+All K candidate × S strategy fits consume one shared
+:class:`~repro.learn.split_index.SplitIndex` (memoized on the
+:class:`~repro.core.preprocessor.PreprocessResult`), so per-column
+sorted orderings, candidate thresholds, and bin codes are derived once
+per debug cycle — and, in the service, once per *cached preprocessing*,
+shared across sessions.
 """
 
 from __future__ import annotations
@@ -22,7 +29,8 @@ import numpy as np
 from ..db.table import Table
 from ..errors import PipelineError
 from ..learn.rules import Rule, dedupe_rules
-from ..learn.tree import DecisionTree
+from ..learn.split_index import SplitIndex
+from ..learn.tree import ALGORITHMS, DecisionTree
 from .enumerator import CandidateSet
 from .preprocessor import PreprocessResult
 
@@ -71,17 +79,27 @@ class PredicateEnumerator:
         min_precision: float = 0.5,
         weight_by_influence: bool = False,
         validation_fraction: float = 0.3,
+        tree_algorithm: str = "hist",
+        max_thresholds: int = 32,
+        max_categories: int = 32,
         seed: int = 0,
     ):
         if not strategies:
             raise PipelineError("at least one tree strategy is required")
         if not 0.0 < validation_fraction < 1.0:
             raise PipelineError("validation_fraction must be in (0, 1)")
+        if tree_algorithm not in ALGORITHMS:
+            raise PipelineError(
+                f"tree_algorithm must be one of {ALGORITHMS}, got {tree_algorithm!r}"
+            )
         self.strategies = tuple(strategies)
         self.feature_columns = tuple(feature_columns) if feature_columns else None
         self.min_precision = min_precision
         self.weight_by_influence = weight_by_influence
         self.validation_fraction = validation_fraction
+        self.tree_algorithm = tree_algorithm
+        self.max_thresholds = max_thresholds
+        self.max_categories = max_categories
         self.seed = seed
 
     def run(
@@ -91,6 +109,11 @@ class PredicateEnumerator:
         F = pre.F
         features = self._features(F)
         weights = self._weights(pre)
+        # One shared index serves every (candidate × strategy) fit; the
+        # memo on `pre` also shares it across service sessions.
+        split_index = pre.split_index(
+            features=features, max_thresholds=self.max_thresholds
+        )
         out: list[CandidateRule] = []
         for index, candidate in enumerate(candidates):
             labels = candidate.label_mask(F)
@@ -99,7 +122,9 @@ class PredicateEnumerator:
             rules: list[Rule] = list(candidate.rules)
             for strategy in self.strategies:
                 rules.extend(
-                    self._tree_rules(F, labels, weights, features, strategy)
+                    self._tree_rules(
+                        F, labels, weights, features, strategy, split_index
+                    )
                 )
             for rule in dedupe_rules(rules):
                 out.append(CandidateRule(candidate_index=index, rule=rule))
@@ -114,16 +139,26 @@ class PredicateEnumerator:
         weights: np.ndarray | None,
         features: list[str],
         strategy: TreeStrategy,
+        split_index: SplitIndex,
     ) -> list[Rule]:
         tree = DecisionTree(
             criterion=strategy.criterion,
             max_depth=strategy.max_depth,
             min_samples_leaf=strategy.min_samples_leaf,
+            max_thresholds=self.max_thresholds,
+            max_categories=self.max_categories,
+            algorithm=self.tree_algorithm,
         )
         if strategy.prune == "rep":
             train_idx, val_idx = self._split_indices(len(F), labels)
             if len(val_idx) == 0 or not labels[train_idx].any():
-                tree.fit(F, labels, sample_weight=weights, features=features)
+                tree.fit(
+                    F,
+                    labels,
+                    sample_weight=weights,
+                    features=features,
+                    split_index=split_index,
+                )
             else:
                 train_w = weights[train_idx] if weights is not None else None
                 tree.fit(
@@ -131,10 +166,17 @@ class PredicateEnumerator:
                     labels[train_idx],
                     sample_weight=train_w,
                     features=features,
+                    split_index=split_index.take(train_idx),
                 )
                 tree.prune_reduced_error(F.take(val_idx), labels[val_idx])
         else:
-            tree.fit(F, labels, sample_weight=weights, features=features)
+            tree.fit(
+                F,
+                labels,
+                sample_weight=weights,
+                features=features,
+                split_index=split_index,
+            )
             if strategy.prune == "ccp":
                 tree.cost_complexity_prune(strategy.ccp_alpha)
         rules = tree.positive_rules(min_precision=self.min_precision)

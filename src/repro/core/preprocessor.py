@@ -14,7 +14,8 @@ depends only on (base table, query text, S, ε, debugged aggregate) — not
 on D' or any enumerator/ranker tunable. :class:`PreprocessCache` keys on
 exactly that identity so N concurrent sessions debugging the same
 selection of the same query share one :class:`PreprocessResult` (and
-with it the segmented kernels and column discretizations it caches).
+with it the segmented kernels, column discretizations, and the
+tree-induction :class:`~repro.learn.split_index.SplitIndex` it caches).
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Hashable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from ..db.table import Table
 from ..errors import PipelineError
 from .error_metrics import ErrorMetric
 from .influence import InfluenceResult, leave_one_out_influence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..learn.split_index import SplitIndex
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,38 @@ class PreprocessResult:
         cached = self._column_memo.get(key)
         if cached is None:
             cached = tuple(equal_frequency_edges(self.numeric_values(column), bins))
+            self._column_memo[key] = cached
+        return cached
+
+    def split_index(
+        self,
+        features: Sequence[str] | None = None,
+        max_thresholds: int = 32,
+    ) -> "SplitIndex":
+        """Shared tree-induction index over F's columns, computed once.
+
+        The Predicate Enumerator fits K candidate × S strategy decision
+        trees per debug cycle, and every fit needs the same per-column
+        sorted orderings, candidate thresholds, and bin codes. Like
+        :meth:`numeric_values` and :meth:`frequency_edges`, the index
+        rides on this (cached) result, so in the service it is shared
+        across sessions, not just across strategies. Reuses the
+        :meth:`numeric_values` casts.
+        """
+        from ..learn.split_index import SplitIndex
+
+        features = (
+            tuple(features) if features is not None else tuple(self.F.schema.names)
+        )
+        key = ("split_index", features, int(max_thresholds))
+        cached = self._column_memo.get(key)
+        if cached is None:
+            cached = SplitIndex.build(
+                self.F,
+                features,
+                max_thresholds=max_thresholds,
+                numeric_values=self.numeric_values,
+            )
             self._column_memo[key] = cached
         return cached
 

@@ -32,18 +32,23 @@ from .metrics import (
     wracc,
 )
 from .rules import Rule, dedupe_rules
+from .split_index import CategoricalColumnIndex, NumericColumnIndex, SplitIndex
 from .subgroup import SubgroupDiscovery
-from .tree import CRITERIA, CategoricalSplit, DecisionTree, NumericSplit
+from .tree import ALGORITHMS, CRITERIA, CategoricalSplit, DecisionTree, NumericSplit
 
 __all__ = [
+    "ALGORITHMS",
     "CRITERIA",
+    "CategoricalColumnIndex",
     "CategoricalSplit",
     "Confusion",
     "DecisionTree",
     "KMeansResult",
     "MixedNaiveBayes",
+    "NumericColumnIndex",
     "NumericSplit",
     "Rule",
+    "SplitIndex",
     "SubgroupDiscovery",
     "bin_index",
     "choose_k",

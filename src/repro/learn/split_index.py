@@ -1,0 +1,205 @@
+"""Shared split-candidate precomputation for histogram tree induction.
+
+The Predicate Enumerator fits K candidate sets × S strategies decision
+trees over the *same* table F per debug cycle. Candidate thresholds,
+value orderings, and per-row bin assignments depend only on F's columns,
+so deriving them inside every fit (and inside every tree node) repeats
+identical work K×S× times. A :class:`SplitIndex` computes them once:
+
+* numeric columns: the sorted distinct values, candidate thresholds
+  (midpoints of consecutive distinct values, capped at
+  ``max_thresholds``), and an int64 *bin code* per row such that
+  ``code <= b`` iff ``value <= thresholds[b]`` (NaN gets the one-past-
+  the-end code, so it never routes left — matching
+  :class:`~repro.learn.tree.NumericSplit` semantics);
+* categorical columns: the sorted distinct non-NULL values and an int64
+  *value code* per row (NULL gets the one-past-the-end code, so it never
+  equals a candidate value).
+
+With codes in hand, a tree node scores **all** thresholds of a column in
+one histogram pass: accumulate per-bin weight / positive-weight / count
+(weighted ``np.bincount``), take a ``cumsum``, and evaluate every
+``(left, right)`` partition at once — no per-node sort, no per-threshold
+masking.
+
+Candidate thresholds are **global** — derived once from the whole
+column, not re-derived per node as the pre-histogram code did. A deep
+node therefore only sees the global candidates that fall inside its
+value range, which can make trees on very-high-cardinality numeric
+columns slightly coarser near the leaves. That is the standard
+histogram-tree tradeoff (LightGBM-style binning), accepted in exchange
+for O(n + bins) node scoring and sharing the derivation across all
+fits; raise ``max_thresholds`` to recover resolution where it matters.
+
+The index is row-aligned with the table it was built from;
+:meth:`SplitIndex.take` re-aligns it with a row subset (e.g. the train
+split of reduced-error pruning). In the pipeline the index is memoized
+on :class:`~repro.core.preprocessor.PreprocessResult`, so the service
+tier shares one index across sessions exactly like the segmented
+aggregates and frequency edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..db.table import Table
+from ..errors import LearnError
+
+__all__ = [
+    "CategoricalColumnIndex",
+    "NumericColumnIndex",
+    "SplitIndex",
+]
+
+
+class NumericColumnIndex:
+    """Candidate thresholds and per-row bin codes of one numeric column."""
+
+    __slots__ = ("attr", "thresholds", "codes")
+
+    def __init__(self, attr: str, thresholds: np.ndarray, codes: np.ndarray):
+        self.attr = attr
+        #: Sorted candidate split points (midpoints of consecutive
+        #: distinct values; subsampled when there are too many).
+        self.thresholds = thresholds
+        #: ``codes[i] <= b``  iff  ``value[i] <= thresholds[b]``; NaN rows
+        #: hold ``len(thresholds)`` (one past the last threshold bin).
+        self.codes = codes
+
+    @property
+    def n_bins(self) -> int:
+        """Number of histogram bins (thresholds + the rightmost bin)."""
+        return len(self.thresholds) + 1
+
+    def code_of(self, threshold: float) -> int:
+        """The bin code whose left partition is ``value <= threshold``."""
+        return int(np.searchsorted(self.thresholds, threshold, side="left"))
+
+    def take(self, indices: np.ndarray) -> "NumericColumnIndex":
+        """The index re-aligned with a row subset."""
+        return NumericColumnIndex(self.attr, self.thresholds, self.codes[indices])
+
+
+class CategoricalColumnIndex:
+    """Distinct values and per-row value codes of one categorical column."""
+
+    __slots__ = ("attr", "values", "codes", "_code_by_value")
+
+    def __init__(self, attr: str, values: tuple, codes: np.ndarray):
+        self.attr = attr
+        #: Distinct non-NULL values in ascending order (code == position).
+        self.values = values
+        #: Value code per row; NULL rows hold ``len(values)``.
+        self.codes = codes
+        self._code_by_value = {value: code for code, value in enumerate(values)}
+
+    @property
+    def n_bins(self) -> int:
+        """Number of histogram bins (distinct values + the NULL bin)."""
+        return len(self.values) + 1
+
+    def code_of(self, value: Any) -> int:
+        """The code of a distinct value."""
+        return self._code_by_value[value]
+
+    def take(self, indices: np.ndarray) -> "CategoricalColumnIndex":
+        """The index re-aligned with a row subset."""
+        return CategoricalColumnIndex(self.attr, self.values, self.codes[indices])
+
+
+ColumnIndex = NumericColumnIndex | CategoricalColumnIndex
+
+
+class SplitIndex:
+    """Per-column split candidates + bin codes, shared across tree fits."""
+
+    __slots__ = ("features", "max_thresholds", "columns", "n_rows")
+
+    def __init__(
+        self,
+        features: tuple[str, ...],
+        max_thresholds: int,
+        columns: Mapping[str, ColumnIndex],
+        n_rows: int,
+    ):
+        self.features = features
+        self.max_thresholds = max_thresholds
+        self.columns = dict(columns)
+        self.n_rows = n_rows
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        features: Sequence[str] | None = None,
+        max_thresholds: int = 32,
+        numeric_values: Callable[[str], np.ndarray] | None = None,
+    ) -> "SplitIndex":
+        """Build the index over ``table``.
+
+        ``numeric_values`` optionally supplies pre-cast float64 column
+        arrays (e.g. ``PreprocessResult.numeric_values``) so the cast is
+        not repeated here.
+        """
+        if max_thresholds < 1:
+            raise LearnError("max_thresholds must be >= 1")
+        names = tuple(features) if features is not None else tuple(table.schema.names)
+        columns: dict[str, ColumnIndex] = {}
+        for name in names:
+            if table.schema.type_of(name).is_numeric:
+                if numeric_values is not None:
+                    values = numeric_values(name)
+                else:
+                    values = np.asarray(table.column(name), dtype=np.float64)
+                columns[name] = _build_numeric(name, values, max_thresholds)
+            else:
+                columns[name] = _build_categorical(name, table.column(name))
+        return cls(names, max_thresholds, columns, len(table))
+
+    def column(self, attr: str) -> ColumnIndex:
+        """The per-column index for ``attr``."""
+        try:
+            return self.columns[attr]
+        except KeyError:
+            raise LearnError(f"column {attr!r} is not in the split index") from None
+
+    def take(self, indices: np.ndarray) -> "SplitIndex":
+        """The index re-aligned with a row subset (shared thresholds)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {name: column.take(indices) for name, column in self.columns.items()}
+        return SplitIndex(self.features, self.max_thresholds, columns, len(indices))
+
+
+def _build_numeric(
+    attr: str, values: np.ndarray, max_thresholds: int
+) -> NumericColumnIndex:
+    nan_mask = np.isnan(values)
+    distinct = np.unique(values[~nan_mask])
+    if len(distinct) < 2:
+        thresholds = np.empty(0, dtype=np.float64)
+    else:
+        thresholds = (distinct[:-1] + distinct[1:]) / 2.0
+        if len(thresholds) > max_thresholds:
+            picks = np.linspace(0, len(thresholds) - 1, max_thresholds).astype(int)
+            thresholds = thresholds[np.unique(picks)]
+        # Defensive: midpoints of adjacent representable floats can
+        # collide after rounding; codes need strictly sorted thresholds.
+        thresholds = np.unique(thresholds)
+    codes = np.searchsorted(thresholds, values, side="left")
+    codes[nan_mask] = len(thresholds)
+    return NumericColumnIndex(attr, thresholds, np.asarray(codes, dtype=np.int64))
+
+
+def _build_categorical(attr: str, values: np.ndarray) -> CategoricalColumnIndex:
+    distinct = sorted({value for value in values if value is not None})
+    null_code = len(distinct)
+    code_by_value = {value: code for code, value in enumerate(distinct)}
+    codes = np.fromiter(
+        (code_by_value.get(value, null_code) for value in values),
+        dtype=np.int64,
+        count=len(values),
+    )
+    return CategoricalColumnIndex(attr, tuple(distinct), codes)

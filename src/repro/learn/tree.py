@@ -14,6 +14,21 @@ candidate dataset using "m standard splitting and pruning strategies
 * extraction of positive root-to-leaf paths as
   :class:`~repro.learn.rules.Rule` objects whose predicates render to SQL.
 
+Split finding runs in one of two algorithms over a shared
+:class:`~repro.learn.split_index.SplitIndex` of candidate thresholds:
+
+* ``"hist"`` (default): per node, accumulate per-bin weight /
+  positive-weight / count histograms (weighted ``np.bincount``) and
+  score **every** threshold of a column in one ``cumsum`` pass;
+* ``"exact"``: the reference per-threshold masking path — one boolean
+  mask and one weight reduction per candidate threshold. It scores the
+  identical candidate set, so ``tests/test_tree_parity.py`` can assert
+  the histogram path picks the same splits with the same gains.
+
+Ties (equal-gain splits) are broken deterministically: lowest column
+name first, then lowest threshold / lowest categorical value — never by
+feature order or dict insertion order.
+
 NaN feature values route to the right (no-match) branch; ``None``
 categorical values never equal a split value, so they also route right.
 """
@@ -30,8 +45,22 @@ from ..db.table import Table
 from ..errors import LearnError, NotFittedError
 from .metrics import entropy, gini_impurity, split_info
 from .rules import Rule
+from .split_index import CategoricalColumnIndex, NumericColumnIndex, SplitIndex
 
 CRITERIA = ("gini", "entropy", "gain_ratio")
+ALGORITHMS = ("hist", "exact")
+
+#: Scores within this (relative) distance of a column's / node's best are
+#: treated as tied and resolved by the deterministic tie-break. The
+#: tolerance absorbs float-associativity noise between the histogram and
+#: exact paths (bin-cumsum vs per-mask reductions), so both pick the
+#: same split.
+TIE_REL_TOL = 1e-9
+
+
+def _tie_cutoff(best_score: float) -> float:
+    """Scores at or above this value are considered tied with ``best_score``."""
+    return best_score - TIE_REL_TOL * max(1.0, abs(best_score))
 
 
 @dataclass(frozen=True)
@@ -134,6 +163,29 @@ class _Node:
         self.right = None
 
 
+class _FitContext:
+    """Everything one ``fit`` needs, bundled so ``_build`` recursion and
+    the parity tests can drive split finding without re-deriving state."""
+
+    __slots__ = ("labels", "weights", "index", "arrays", "algorithm")
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        index: SplitIndex,
+        arrays: dict[str, np.ndarray] | None,
+        algorithm: str,
+    ):
+        self.labels = labels
+        self.weights = weights
+        self.index = index
+        #: Raw column arrays; only materialized for the exact algorithm
+        #: (the histogram path routes rows purely through bin codes).
+        self.arrays = arrays
+        self.algorithm = algorithm
+
+
 class DecisionTree:
     """A binary-classification CART tree with pluggable split criteria."""
 
@@ -146,9 +198,14 @@ class DecisionTree:
         min_score: float = 1e-9,
         max_thresholds: int = 32,
         max_categories: int = 32,
+        algorithm: str = "hist",
     ):
         if criterion not in CRITERIA:
             raise LearnError(f"unknown criterion {criterion!r}; choose from {CRITERIA}")
+        if algorithm not in ALGORITHMS:
+            raise LearnError(
+                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
         if max_depth < 1:
             raise LearnError("max_depth must be >= 1")
         if min_samples_leaf < 1:
@@ -160,6 +217,7 @@ class DecisionTree:
         self.min_score = min_score
         self.max_thresholds = max_thresholds
         self.max_categories = max_categories
+        self.algorithm = algorithm
         self._root: _Node | None = None
         self._features: tuple[str, ...] = ()
         self._numeric: dict[str, bool] = {}
@@ -174,12 +232,30 @@ class DecisionTree:
         labels: np.ndarray,
         sample_weight: np.ndarray | None = None,
         features: Sequence[str] | None = None,
+        split_index: SplitIndex | None = None,
     ) -> "DecisionTree":
         """Fit the tree on ``table`` with boolean ``labels``.
 
         ``features`` defaults to every column; ``sample_weight`` defaults
-        to uniform.
+        to uniform. ``split_index`` supplies precomputed candidate
+        thresholds and bin codes (row-aligned with ``table``); when
+        omitted, one is built from ``table`` — passing a shared index is
+        what lets K candidate × S strategy fits skip re-deriving it.
         """
+        ctx, n = self._fit_context(table, labels, sample_weight, features, split_index)
+        indices = np.arange(n, dtype=np.int64)
+        self._root = self._build(ctx, indices, depth=0)
+        return self
+
+    def _fit_context(
+        self,
+        table: Table,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        features: Sequence[str] | None = None,
+        split_index: SplitIndex | None = None,
+    ) -> tuple[_FitContext, int]:
+        """Validate inputs and bundle fit state (also used by parity tests)."""
         labels = np.asarray(labels, dtype=bool)
         if len(labels) != len(table):
             raise LearnError("labels length must match table length")
@@ -199,21 +275,34 @@ class DecisionTree:
         self._numeric = {
             name: table.schema.type_of(name).is_numeric for name in self._features
         }
-        arrays = {name: table.column(name) for name in self._features}
-        indices = np.arange(len(table), dtype=np.int64)
-        self._root = self._build(arrays, labels, weights, indices, depth=0)
-        return self
+        if split_index is None:
+            split_index = SplitIndex.build(
+                table, self._features, max_thresholds=self.max_thresholds
+            )
+        else:
+            if split_index.n_rows != len(table):
+                raise LearnError(
+                    f"split index covers {split_index.n_rows} rows, "
+                    f"table has {len(table)}"
+                )
+            if split_index.max_thresholds != self.max_thresholds:
+                raise LearnError(
+                    f"split index was built with max_thresholds="
+                    f"{split_index.max_thresholds}, tree wants "
+                    f"{self.max_thresholds}"
+                )
+            missing = [f for f in self._features if f not in split_index.columns]
+            if missing:
+                raise LearnError(f"split index is missing columns {missing}")
+        arrays = None
+        if self.algorithm == "exact":
+            arrays = {name: table.column(name) for name in self._features}
+        ctx = _FitContext(labels, weights, split_index, arrays, self.algorithm)
+        return ctx, len(table)
 
-    def _build(
-        self,
-        arrays: dict[str, np.ndarray],
-        labels: np.ndarray,
-        weights: np.ndarray,
-        indices: np.ndarray,
-        depth: int,
-    ) -> _Node:
-        node_weights = weights[indices]
-        node_labels = labels[indices]
+    def _build(self, ctx: _FitContext, indices: np.ndarray, depth: int) -> _Node:
+        node_weights = ctx.weights[indices]
+        node_labels = ctx.labels[indices]
         weight = float(node_weights.sum())
         pos_weight = float(node_weights[node_labels].sum())
         node = _Node(len(indices), weight, pos_weight, depth)
@@ -224,14 +313,13 @@ class DecisionTree:
             or pos_weight >= weight
         ):
             return node
-        best = self._best_split(arrays, labels, weights, indices)
+        best = self._best_split(ctx, indices)
         if best is None:
             return node
         split, score = best
         if score < self.min_score:
             return node
-        values = arrays[split.attr][indices]
-        left_mask = split.go_left(values)
+        left_mask = self._left_mask(ctx, split, indices)
         left_indices = indices[left_mask]
         right_indices = indices[~left_mask]
         if (
@@ -240,142 +328,263 @@ class DecisionTree:
         ):
             return node
         node.split = split
-        node.left = self._build(arrays, labels, weights, left_indices, depth + 1)
-        node.right = self._build(arrays, labels, weights, right_indices, depth + 1)
+        node.left = self._build(ctx, left_indices, depth + 1)
+        node.right = self._build(ctx, right_indices, depth + 1)
         return node
 
+    def _left_mask(
+        self, ctx: _FitContext, split: Split, indices: np.ndarray
+    ) -> np.ndarray:
+        """Rows of the node routed left, via raw values (exact) or codes."""
+        if ctx.arrays is not None:
+            return split.go_left(ctx.arrays[split.attr][indices])
+        column = ctx.index.column(split.attr)
+        codes = column.codes[indices]
+        if isinstance(split, NumericSplit):
+            return codes <= column.code_of(split.threshold)
+        return codes == column.code_of(split.value)
+
     def _best_split(
-        self,
-        arrays: dict[str, np.ndarray],
-        labels: np.ndarray,
-        weights: np.ndarray,
-        indices: np.ndarray,
+        self, ctx: _FitContext, indices: np.ndarray
     ) -> tuple[Split, float] | None:
-        node_labels = labels[indices]
-        node_weights = weights[indices]
+        node_labels = ctx.labels[indices]
+        node_weights = ctx.weights[indices]
         total_w = float(node_weights.sum())
         total_pos = float(node_weights[node_labels].sum())
-        best_split: Split | None = None
-        best_score = -np.inf
+        pos_weights = np.where(node_labels, node_weights, 0.0)
+        #: (split, score, intra-column tie key) per feature.
+        found: list[tuple[Split, float, Any]] = []
         for attr in self._features:
-            values = arrays[attr][indices]
+            column = ctx.index.column(attr)
             if self._numeric[attr]:
-                found = self._best_numeric_split(
-                    attr, values, node_labels, node_weights, total_w, total_pos
-                )
+                if ctx.algorithm == "hist":
+                    candidate = self._best_numeric_split_hist(
+                        column, indices, node_weights, pos_weights, total_w, total_pos
+                    )
+                else:
+                    candidate = self._best_numeric_split_exact(
+                        column,
+                        ctx.arrays[attr][indices],
+                        node_weights,
+                        pos_weights,
+                        total_w,
+                        total_pos,
+                    )
             else:
-                found = self._best_categorical_split(
-                    attr, values, node_labels, node_weights, total_w, total_pos
-                )
-            if found is not None and found[1] > best_score:
-                best_split, best_score = found
-        if best_split is None:
+                if ctx.algorithm == "hist":
+                    candidate = self._best_categorical_split_hist(
+                        column, indices, node_weights, pos_weights, total_w, total_pos
+                    )
+                else:
+                    candidate = self._best_categorical_split_exact(
+                        column,
+                        ctx.arrays[attr][indices],
+                        node_weights,
+                        pos_weights,
+                        total_w,
+                        total_pos,
+                    )
+            if candidate is not None:
+                found.append(candidate)
+        if not found:
             return None
-        return best_split, best_score
+        # Deterministic cross-column selection: scores within TIE_REL_TOL
+        # of the best are tied; ties resolve to the lowest column name
+        # (the intra-column key never compares across columns).
+        best_score = max(score for __, score, __ in found)
+        cutoff = _tie_cutoff(best_score)
+        tied = [entry for entry in found if entry[1] >= cutoff]
+        split, score, __ = min(tied, key=lambda entry: (entry[0].attr, entry[2]))
+        return split, score
 
-    def _best_numeric_split(
+    # -- histogram kernels ---------------------------------------------
+
+    def _best_numeric_split_hist(
         self,
-        attr: str,
-        values: np.ndarray,
-        labels: np.ndarray,
+        column: NumericColumnIndex,
+        indices: np.ndarray,
         weights: np.ndarray,
+        pos_weights: np.ndarray,
         total_w: float,
         total_pos: float,
-    ) -> tuple[Split, float] | None:
-        values = np.asarray(values, dtype=np.float64)
-        nan_mask = np.isnan(values)
-        usable = ~nan_mask
-        if usable.sum() < 2:
+    ) -> tuple[Split, float, float] | None:
+        """Score all thresholds in one binned cumulative-sum pass."""
+        n_thresholds = len(column.thresholds)
+        if n_thresholds == 0:
             return None
-        v = values[usable]
-        w = weights[usable]
-        p = np.where(labels[usable], w, 0.0)
-        order = np.argsort(v, kind="stable")
-        v = v[order]
-        w = w[order]
-        p = p[order]
-        n = len(v)
-        n_nan = int(nan_mask.sum())
-        cum_w = np.cumsum(w)
-        cum_p = np.cumsum(p)
-        boundary = np.flatnonzero(v[1:] > v[:-1])  # split after index i
-        if len(boundary) == 0:
-            return None
-        if len(boundary) > self.max_thresholds:
-            picks = np.linspace(0, len(boundary) - 1, self.max_thresholds).astype(int)
-            boundary = boundary[np.unique(picks)]
-        left_count = boundary + 1
-        right_count = (n - left_count) + n_nan
-        valid = (left_count >= self.min_samples_leaf) & (
-            right_count >= self.min_samples_leaf
+        codes, hist_n, hist_w, hist_p = _node_histograms(
+            column, indices, weights, pos_weights
         )
-        boundary = boundary[valid]
-        if len(boundary) == 0:
+        # Left stats of threshold b are the cumulative sums of bins 0..b
+        # (NaN rows live in the rightmost bin, so they never count left).
+        left_n = np.cumsum(hist_n)[:n_thresholds]
+        left_w = np.cumsum(hist_w)[:n_thresholds]
+        left_p = np.cumsum(hist_p)[:n_thresholds]
+        n_node = len(codes)
+        valid = (left_n >= self.min_samples_leaf) & (
+            (n_node - left_n) >= self.min_samples_leaf
+        )
+        if not valid.any():
             return None
-        left_w = cum_w[boundary]
-        left_p = cum_p[boundary]
-        right_w = total_w - left_w
-        right_p = total_pos - left_p
-        scores = self._score_children(total_w, total_pos, left_w, left_p, right_w, right_p)
-        best = int(np.argmax(scores))
-        threshold = float((v[boundary[best]] + v[boundary[best] + 1]) / 2.0)
-        return NumericSplit(attr, threshold), float(scores[best])
+        thresholds = column.thresholds[valid]
+        left_w = left_w[valid]
+        left_p = left_p[valid]
+        scores = self._score_children(
+            total_w, total_pos, left_w, left_p, total_w - left_w, total_pos - left_p
+        )
+        best = _lowest_tied(scores)
+        threshold = float(thresholds[best])
+        return NumericSplit(column.attr, threshold), float(scores[best]), threshold
 
-    def _best_categorical_split(
+    def _best_categorical_split_hist(
         self,
-        attr: str,
-        values: np.ndarray,
-        labels: np.ndarray,
+        column: CategoricalColumnIndex,
+        indices: np.ndarray,
         weights: np.ndarray,
+        pos_weights: np.ndarray,
         total_w: float,
         total_pos: float,
-    ) -> tuple[Split, float] | None:
-        # Aggregate weight and positive weight per distinct value.
-        weight_by_value: dict[Any, float] = {}
-        pos_by_value: dict[Any, float] = {}
-        count_by_value: dict[Any, int] = {}
-        for i in range(len(values)):
-            value = values[i]
-            if value is None:
-                continue
-            key = values[i]
-            weight_by_value[key] = weight_by_value.get(key, 0.0) + weights[i]
-            if labels[i]:
-                pos_by_value[key] = pos_by_value.get(key, 0.0) + weights[i]
-            count_by_value[key] = count_by_value.get(key, 0) + 1
-        if len(weight_by_value) < 2:
+    ) -> tuple[Split, float, int] | None:
+        """Score all candidate values from per-value histograms at once."""
+        n_values = len(column.values)
+        if n_values < 2:
             return None
-        candidates = sorted(
-            weight_by_value, key=lambda value: -weight_by_value[value]
-        )[: self.max_categories]
-        n = len(values)
-        best_split: Split | None = None
-        best_score = -np.inf
-        for value in candidates:
-            left_count = count_by_value[value]
-            right_count = n - left_count
-            if left_count < self.min_samples_leaf or right_count < self.min_samples_leaf:
+        codes, hist_n, hist_w, hist_p = _node_histograms(
+            column, indices, weights, pos_weights
+        )
+        present = np.flatnonzero(hist_n[:n_values] > 0)
+        if len(present) < 2:
+            return None
+        if len(present) > self.max_categories:
+            # Heaviest values first; equal weights resolve to lowest code.
+            order = np.lexsort((present, -hist_w[present]))
+            present = np.sort(present[order[: self.max_categories]])
+        left_n = hist_n[present]
+        n_node = len(codes)
+        valid = (left_n >= self.min_samples_leaf) & (
+            (n_node - left_n) >= self.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+        candidates = present[valid]
+        left_w = hist_w[candidates]
+        left_p = hist_p[candidates]
+        scores = self._score_children(
+            total_w, total_pos, left_w, left_p, total_w - left_w, total_pos - left_p
+        )
+        best = _lowest_tied(scores)
+        code = int(candidates[best])
+        split = CategoricalSplit(column.attr, column.values[code])
+        return split, float(scores[best]), code
+
+    # -- exact per-threshold reference paths ---------------------------
+
+    def _best_numeric_split_exact(
+        self,
+        column: NumericColumnIndex,
+        values: np.ndarray,
+        weights: np.ndarray,
+        pos_weights: np.ndarray,
+        total_w: float,
+        total_pos: float,
+    ) -> tuple[Split, float, float] | None:
+        """Reference path: one mask + reduction per candidate threshold."""
+        if len(column.thresholds) == 0:
+            return None
+        values = np.asarray(values, dtype=np.float64)
+        n_node = len(values)
+        scored: list[tuple[float, float]] = []  # (score, threshold)
+        for threshold in column.thresholds:
+            with np.errstate(invalid="ignore"):
+                left = values <= threshold  # NaN compares False: routes right
+            left_count = int(left.sum())
+            if (
+                left_count < self.min_samples_leaf
+                or (n_node - left_count) < self.min_samples_leaf
+            ):
                 continue
-            left_w = weight_by_value[value]
-            left_p = pos_by_value.get(value, 0.0)
-            right_w = total_w - left_w
-            right_p = total_pos - left_p
+            left_w = float(weights[left].sum())
+            left_p = float(pos_weights[left].sum())
             score = float(
                 self._score_children(
                     total_w,
                     total_pos,
                     np.array([left_w]),
                     np.array([left_p]),
-                    np.array([right_w]),
-                    np.array([right_p]),
+                    np.array([total_w - left_w]),
+                    np.array([total_pos - left_p]),
                 )[0]
             )
-            if score > best_score:
-                best_score = score
-                best_split = CategoricalSplit(attr, value)
-        if best_split is None:
+            scored.append((score, float(threshold)))
+        if not scored:
             return None
-        return best_split, best_score
+        cutoff = _tie_cutoff(max(score for score, __ in scored))
+        score, threshold = min(
+            (entry for entry in scored if entry[0] >= cutoff),
+            key=lambda entry: entry[1],
+        )
+        return NumericSplit(column.attr, threshold), score, threshold
+
+    def _best_categorical_split_exact(
+        self,
+        column: CategoricalColumnIndex,
+        values: np.ndarray,
+        weights: np.ndarray,
+        pos_weights: np.ndarray,
+        total_w: float,
+        total_pos: float,
+    ) -> tuple[Split, float, int] | None:
+        """Reference path: one equality mask + reduction per value."""
+        # Per-value weight accumulation (row order, matching the hist
+        # path's weighted bincount).
+        weight_by_value: dict[Any, float] = {}
+        count_by_value: dict[Any, int] = {}
+        for i in range(len(values)):
+            value = values[i]
+            if value is None:
+                continue
+            weight_by_value[value] = weight_by_value.get(value, 0.0) + weights[i]
+            count_by_value[value] = count_by_value.get(value, 0) + 1
+        if len(weight_by_value) < 2:
+            return None
+        candidates = sorted(
+            weight_by_value, key=lambda value: (-weight_by_value[value], value)
+        )[: self.max_categories]
+        n_node = len(values)
+        scored: list[tuple[float, int]] = []  # (score, value code)
+        for value in candidates:
+            left_count = count_by_value[value]
+            if (
+                left_count < self.min_samples_leaf
+                or (n_node - left_count) < self.min_samples_leaf
+            ):
+                continue
+            left = np.fromiter(
+                (v is not None and v == value for v in values),
+                dtype=bool,
+                count=n_node,
+            )
+            left_w = float(weights[left].sum())
+            left_p = float(pos_weights[left].sum())
+            score = float(
+                self._score_children(
+                    total_w,
+                    total_pos,
+                    np.array([left_w]),
+                    np.array([left_p]),
+                    np.array([total_w - left_w]),
+                    np.array([total_pos - left_p]),
+                )[0]
+            )
+            scored.append((score, column.code_of(value)))
+        if not scored:
+            return None
+        cutoff = _tie_cutoff(max(score for score, __ in scored))
+        score, code = min(
+            (entry for entry in scored if entry[0] >= cutoff),
+            key=lambda entry: entry[1],
+        )
+        return CategoricalSplit(column.attr, column.values[code]), score, code
 
     def _score_children(
         self,
@@ -612,6 +821,34 @@ class DecisionTree:
 
         walk(root, "")
         return "\n".join(lines)
+
+
+def _node_histograms(
+    column: NumericColumnIndex | CategoricalColumnIndex,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    pos_weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bin (count, weight, positive-weight) histograms of one node.
+
+    Returns ``(codes, hist_n, hist_w, hist_p)``; NaN/NULL rows land in
+    the rightmost bin by construction of the column's codes.
+    """
+    codes = column.codes[indices]
+    n_bins = column.n_bins
+    hist_n = np.bincount(codes, minlength=n_bins)
+    # bincount accumulates weights sequentially in row order — the same
+    # float-sum order as the exact path's dict accumulation, which the
+    # tie-break parity relies on.
+    hist_w = np.bincount(codes, weights=weights, minlength=n_bins)
+    hist_p = np.bincount(codes, weights=pos_weights, minlength=n_bins)
+    return codes, hist_n, hist_w, hist_p
+
+
+def _lowest_tied(scores: np.ndarray) -> int:
+    """Index of the first (lowest threshold/code) score tied with the max."""
+    cutoff = _tie_cutoff(float(scores.max()))
+    return int(np.flatnonzero(scores >= cutoff)[0])
 
 
 def _gini_vec(pos: np.ndarray, total: np.ndarray) -> np.ndarray:

@@ -9,7 +9,12 @@ Two levels of sharing make N concurrent sessions cheap:
   identity.
 * :class:`~repro.core.preprocessor.PreprocessCache` (re-exported here)
   — one :class:`~repro.core.preprocessor.PreprocessResult` per
-  (table, query, S, ε, aggregate), shared across sessions.
+  (table, query, S, ε, aggregate), shared across sessions. The cached
+  result carries the per-column memos that ride on it — segmented
+  aggregates, numeric casts, frequency edges, and the tree-induction
+  :class:`~repro.learn.split_index.SplitIndex` — so N sessions
+  debugging the same selection share one threshold/bin derivation, not
+  just one influence pass.
 """
 
 from __future__ import annotations

@@ -5,7 +5,7 @@ import pytest
 
 from repro.db import Table
 from repro.errors import LearnError, NotFittedError
-from repro.learn import CRITERIA, DecisionTree
+from repro.learn import ALGORITHMS, CRITERIA, DecisionTree, SplitIndex
 from repro.learn.tree import CategoricalSplit, NumericSplit
 
 
@@ -183,6 +183,190 @@ class TestRules:
         tree = DecisionTree(max_depth=2).fit(table, labels)
         text = tree.to_text()
         assert "if " in text and "leaf" in text
+
+
+class TestTieBreaking:
+    """Equal-gain splits must resolve deterministically: lowest column
+    name, then lowest threshold / lowest categorical value — never by
+    feature order or dict insertion order.
+
+    The cross-column and categorical cases are crafted ties that failed
+    before the deterministic selection: the old code kept the first
+    feature in schema order (here ``z_col``) and the first-inserted
+    categorical value (here ``"b"``).
+    """
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_cross_column_tie_picks_lowest_column_name(self, algorithm):
+        values = [1.0, 2.0, 10.0, 11.0]
+        table = Table.from_columns(
+            # Schema order deliberately puts "z_col" first: identical
+            # columns tie exactly, and the tie must go to "a_col".
+            {"z_col": values, "a_col": values},
+            types={"z_col": "float", "a_col": "float"},
+        )
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        tree = DecisionTree(max_depth=1, algorithm=algorithm).fit(table, labels)
+        assert tree._root.split.attr == "a_col"
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_categorical_tie_picks_lowest_value(self, algorithm):
+        # "b" is inserted first and ties "a" exactly (symmetric labels,
+        # equal weight): selection must still be "a".
+        table = Table.from_columns(
+            {"k": ["b", "b", "a", "a"]}, types={"k": "str"}
+        )
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        tree = DecisionTree(max_depth=1, algorithm=algorithm).fit(table, labels)
+        assert tree._root.split.value == "a"
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_numeric_threshold_tie_picks_lowest_threshold(self, algorithm):
+        # Symmetric gains at t=1.5 and t=2.5: must choose 1.5.
+        table = Table.from_columns({"x": [1.0, 2.0, 3.0]})
+        labels = np.array([1, 0, 1], dtype=bool)
+        tree = DecisionTree(max_depth=1, min_samples_leaf=1, algorithm=algorithm).fit(
+            table, labels
+        )
+        assert tree._root.split.threshold == 1.5
+
+    def test_both_algorithms_agree_on_crafted_ties(self):
+        values = [1.0, 2.0, 10.0, 11.0]
+        table = Table.from_columns(
+            {"z_col": values, "a_col": values, "k": ["b", "b", "a", "a"]},
+            types={"z_col": "float", "a_col": "float", "k": "str"},
+        )
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        texts = {
+            algorithm: DecisionTree(max_depth=2, algorithm=algorithm)
+            .fit(table, labels)
+            .to_text()
+            for algorithm in ALGORITHMS
+        }
+        assert texts["hist"] == texts["exact"]
+
+
+def _noisy_split_data(seed: int = 5, n: int = 600):
+    rng = np.random.default_rng(seed)
+    x = rng.random(n)
+    labels = (x > 0.5) ^ (rng.random(n) < 0.25)
+    table = Table.from_columns({"x": x})
+    half = n // 2
+    train = table.take(np.arange(half))
+    val = table.take(np.arange(half, n))
+    return train, labels[:half], val, labels[half:]
+
+
+class TestPruningOnHistogramTrees:
+    """Pruning exercised on trees built by the histogram path (the
+    pipeline default), including n_leaves / depth invariants."""
+
+    def test_reduced_error_pruning_invariants(self):
+        train, train_labels, val, val_labels = _noisy_split_data()
+        tree = DecisionTree(
+            max_depth=8, min_samples_leaf=1, algorithm="hist"
+        ).fit(train, train_labels)
+        leaves_before = tree.n_leaves
+        depth_before = tree.depth
+        tree.prune_reduced_error(val, val_labels)
+        assert 1 <= tree.n_leaves < leaves_before
+        assert tree.depth <= depth_before
+        acc = (tree.predict(val) == val_labels).mean()
+        assert acc >= 0.70
+
+    def test_reduced_error_pruning_matches_exact_path(self):
+        train, train_labels, val, val_labels = _noisy_split_data()
+        index = SplitIndex.build(train)
+        texts = []
+        for algorithm in ALGORITHMS:
+            tree = DecisionTree(
+                max_depth=8, min_samples_leaf=1, algorithm=algorithm
+            ).fit(train, train_labels, split_index=index)
+            tree.prune_reduced_error(val, val_labels)
+            texts.append(tree.to_text())
+        assert texts[0] == texts[1]
+
+    def test_ccp_alpha_ladder_is_monotone(self):
+        train, train_labels, __, __ = _noisy_split_data(seed=9)
+        leaves = []
+        depths = []
+        for alpha in (0.0, 0.5, 2.0, 8.0, 1e9):
+            tree = DecisionTree(
+                max_depth=8, min_samples_leaf=1, algorithm="hist"
+            ).fit(train, train_labels)
+            tree.cost_complexity_prune(alpha)
+            leaves.append(tree.n_leaves)
+            depths.append(tree.depth)
+        assert leaves == sorted(leaves, reverse=True)
+        assert depths == sorted(depths, reverse=True)
+        assert leaves[-1] == 1 and depths[-1] == 0
+
+    def test_ccp_matches_exact_path(self):
+        train, train_labels, __, __ = _noisy_split_data(seed=11)
+        index = SplitIndex.build(train)
+        texts = []
+        for algorithm in ALGORITHMS:
+            tree = DecisionTree(
+                max_depth=7, min_samples_leaf=2, algorithm=algorithm
+            ).fit(train, train_labels, split_index=index)
+            tree.cost_complexity_prune(0.8)
+            texts.append(tree.to_text())
+        assert texts[0] == texts[1]
+
+    def test_pruned_hist_tree_still_extracts_rules(self, separable_table):
+        table, labels = separable_table
+        tree = DecisionTree(max_depth=5, algorithm="hist").fit(table, labels)
+        tree.cost_complexity_prune(0.01)
+        rules = tree.positive_rules()
+        assert rules
+        union = np.zeros(len(table), dtype=bool)
+        for rule in rules:
+            union |= rule.mask(table)
+        assert (union == tree.predict(table)).all()
+
+
+class TestSplitIndexSharing:
+    def test_shared_index_equals_per_fit_index(self, separable_table):
+        table, labels = separable_table
+        index = SplitIndex.build(table)
+        shared = DecisionTree(max_depth=4).fit(table, labels, split_index=index)
+        fresh = DecisionTree(max_depth=4).fit(table, labels)
+        assert shared.to_text() == fresh.to_text()
+
+    def test_take_subsets_align(self, separable_table):
+        table, labels = separable_table
+        index = SplitIndex.build(table)
+        rows = np.arange(0, len(table), 2, dtype=np.int64)
+        sub = DecisionTree(max_depth=3).fit(
+            table.take(rows), labels[rows], split_index=index.take(rows)
+        )
+        # Same thresholds as the full index; structure is a valid tree.
+        assert sub.n_leaves >= 1
+        assert (sub.predict(table.take(rows)) == labels[rows]).all()
+
+    def test_row_count_mismatch_rejected(self, separable_table):
+        table, labels = separable_table
+        index = SplitIndex.build(table)
+        with pytest.raises(LearnError):
+            DecisionTree().fit(
+                table.take(np.arange(10)), labels[:10], split_index=index
+            )
+
+    def test_missing_column_rejected(self, separable_table):
+        table, labels = separable_table
+        index = SplitIndex.build(table, features=["temp"])
+        with pytest.raises(LearnError):
+            DecisionTree().fit(table, labels, split_index=index)
+
+    def test_threshold_cap_mismatch_rejected(self, separable_table):
+        table, labels = separable_table
+        index = SplitIndex.build(table, max_thresholds=64)
+        with pytest.raises(LearnError):
+            DecisionTree(max_thresholds=8).fit(table, labels, split_index=index)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(LearnError):
+            DecisionTree(algorithm="magic")
 
 
 class TestSplits:
