@@ -20,7 +20,9 @@ from .influence import (
     leave_one_out_influence,
     subset_epsilon,
     subset_epsilon_grouped,
+    subset_epsilon_grouped_batch,
 )
+from .maskset import ClauseMaskCache, MaskSet
 from .merger import PredicateMerger, hull
 from .pipeline import PipelineConfig, RankedProvenance
 from .predicates import (
@@ -35,14 +37,17 @@ from .preprocessor import (
     Preprocessor,
     preprocess_key,
 )
-from .ranker import PredicateRanker, RankerWeights
+from .ranker import SCORE_ALGORITHMS, PredicateRanker, RankerWeights
 from .report import DebugReport, RankedPredicate
 
 __all__ = [
     "CLEAN_STRATEGIES",
     "DEFAULT_STRATEGIES",
+    "SCORE_ALGORITHMS",
     "CandidateRule",
     "CandidateSet",
+    "ClauseMaskCache",
+    "MaskSet",
     "DatasetEnumerator",
     "DebugReport",
     "DiffFromConstant",
@@ -70,4 +75,5 @@ __all__ = [
     "preprocess_key",
     "subset_epsilon",
     "subset_epsilon_grouped",
+    "subset_epsilon_grouped_batch",
 ]

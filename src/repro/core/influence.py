@@ -38,7 +38,7 @@ from functools import cached_property
 import numpy as np
 
 from ..db.aggregates import Aggregate
-from ..db.segments import SegmentedValues, as_segments
+from ..db.segments import SegmentedValues, SegmentPairs, as_segments
 from ..errors import PipelineError
 
 
@@ -221,5 +221,179 @@ def subset_epsilon_grouped(
     """
     new_values = aggregate.compute_without_grouped(seg, remove_mask)
     return metric(new_values)
+
+
+#: Soft cap on the elements of one batched Δε slab (rows × flat values).
+#: Above this the mask matrix is split into row chunks so the float64
+#: temporaries of the 2-D kernels stay within a few hundred MB even on
+#: the 50× ablation workloads.
+BATCH_MAX_ELEMENTS = 8_000_000
+
+
+def subset_epsilon_grouped_batch(
+    seg: SegmentedValues,
+    remove_masks: np.ndarray,
+    aggregate: Aggregate,
+    metric,
+    max_elements: int = BATCH_MAX_ELEMENTS,
+) -> np.ndarray:
+    """:func:`subset_epsilon_grouped` for R remove-masks in one pass.
+
+    ``remove_masks`` is an ``(R, len(seg))`` boolean matrix — one
+    candidate predicate's flat remove-mask per row. The whole batch is
+    scored with a single grouped
+    :meth:`~repro.db.aggregates.Aggregate.compute_without_grouped_batch`
+    pass per row-chunk instead of R separate grouped passes; row ``r``
+    of the result is bit-identical to
+    ``subset_epsilon_grouped(seg, remove_masks[r], ...)``, which is what
+    lets the batched Ranker stay byte-identical to the per-rule
+    reference.
+    """
+    remove_masks = np.asarray(remove_masks, dtype=bool)
+    if remove_masks.ndim != 2 or remove_masks.shape[1] != len(seg.values):
+        raise PipelineError("remove mask matrix shape does not match segments")
+    n_rows = remove_masks.shape[0]
+    out = np.empty(n_rows, dtype=np.float64)
+    if n_rows == 0:
+        return out
+    chunk = max(1, max_elements // max(len(seg.values), 1))
+    for start in range(0, n_rows, chunk):
+        block = remove_masks[start: start + chunk]
+        new_values = aggregate.compute_without_grouped_batch(seg, block)
+        for offset in range(block.shape[0]):
+            out[start + offset] = metric(new_values[offset])
+    return out
+
+
+#: Above this fraction of the dense (rows × n) work, the group-sparse
+#: Δε path stops paying for its gathers and the dense kernels run
+#: instead. Both paths are bit-identical, so the cutover is pure policy.
+SPARSE_DENSITY_CUTOFF = 0.5
+
+
+def subset_epsilon_for_mask_set(
+    seg: SegmentedValues,
+    mask_set,
+    aggregate: Aggregate,
+    metric,
+    positions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched Δε over a :class:`~repro.core.maskset.MaskSet`.
+
+    Three structural savings on top of the batch kernels, all provably
+    bit-identical to scoring each rule alone:
+
+    * ``positions`` maps mask bits onto the segment flat order (the
+      segment table is F's rows re-ordered, so a predicate's segment
+      mask is a gather of its F mask — no second mask evaluation);
+    * candidate predicates frequently denote the *same* tuple set (that
+      is what the ranker's dedupe exploits), so the packed-mask digests
+      score each distinct remove-mask once and broadcast the result;
+    * a rule leaves most groups untouched, and an untouched group's
+      aggregate-after-removal is, fold-for-fold, the no-removal value —
+      so only the touched (rule, group) pairs are re-aggregated, over a
+      compacted copy of exactly those groups.
+    """
+    digests = mask_set.digests()
+    # ε per distinct mask is memoized on the segments: a repeated debug
+    # of a cached selection — N service sessions, or the next cycle of
+    # one session — pays only dictionary lookups for every predicate
+    # whose tuple set has been previewed before. Cached values are the
+    # very floats a fresh scoring would produce, so the memo cannot
+    # perturb byte-identity.
+    cache_key = (
+        "subset_epsilon",
+        aggregate.name,
+        type(metric).__name__,
+        metric.describe(),
+        getattr(metric, "combine", None),
+    )
+    cache = seg.memo.get(cache_key)
+    if cache is None:
+        cache = {}
+        seg.memo[cache_key] = cache
+    first_row: dict[bytes, int] = {}
+    unique_rows: list[int] = []
+    for row, digest in enumerate(digests):
+        if digest not in first_row and digest not in cache:
+            first_row[digest] = len(unique_rows)
+            unique_rows.append(row)
+    if unique_rows:
+        bools = mask_set.bools(np.asarray(unique_rows, dtype=np.int64))
+        if positions is not None:
+            bools = bools[:, positions]
+        unique = _epsilons_group_sparse(seg, bools, aggregate, metric)
+        for digest, index in first_row.items():
+            cache[digest] = float(unique[index])
+    return np.fromiter(
+        (cache[digest] for digest in digests),
+        dtype=np.float64,
+        count=len(digests),
+    )
+
+
+def _epsilons_group_sparse(
+    seg: SegmentedValues,
+    remove_masks: np.ndarray,
+    aggregate: Aggregate,
+    metric,
+) -> np.ndarray:
+    """ε per mask row, re-aggregating only the touched (row, group) pairs.
+
+    A group none of whose flat positions are removed contributes its
+    no-removal aggregate — computed once via the *same* masked kernel
+    (``compute_without_grouped`` with an all-False mask), so the fold
+    order matches the dense path exactly. The touched pairs are copied
+    group-wholesale into one compacted :class:`SegmentedValues` and
+    pushed through the 1-D grouped kernel in a single pass; since every
+    grouped kernel is a per-group-local fold, the compacted results are
+    bit-identical to the dense ones. Falls back to the dense batch
+    kernels when the touched volume approaches the dense volume.
+    """
+    from ..db.segments import _count_reduceat_batch
+
+    n_rows = remove_masks.shape[0]
+    n_flat = len(seg.values)
+    if n_rows == 0:
+        return np.empty(0, dtype=np.float64)
+    removed_counts = _count_reduceat_batch(remove_masks, seg.offsets)
+    row_idx, group_idx = np.nonzero(removed_counts > 0)
+    lengths = seg.lengths[group_idx]
+    touched_volume = int(lengths.sum())
+    if touched_volume >= SPARSE_DENSITY_CUTOFF * n_rows * n_flat:
+        return subset_epsilon_grouped_batch(seg, remove_masks, aggregate, metric)
+    out = np.empty(n_rows, dtype=np.float64)
+
+    # The no-removal baseline, through the same masked kernel so the
+    # accumulation of untouched groups matches the dense path; memoized
+    # on the segments (shared by the Ranker, Merger, and later debugs).
+    baseline_key = ("cwg_baseline", aggregate.name)
+    baseline = seg.memo.get(baseline_key)
+    if baseline is None:
+        baseline = aggregate.compute_without_grouped(
+            seg, np.zeros(n_flat, dtype=bool)
+        )
+        seg.memo[baseline_key] = baseline
+    new_values = np.tile(baseline, (n_rows, 1))
+    if touched_volume:
+        # Ragged gather: for each touched (row, group) pair, the group's
+        # whole flat range, concatenated.
+        mini_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lengths)]
+        )
+        starts = seg.offsets[:-1][group_idx]
+        flat = (
+            np.arange(touched_volume, dtype=np.int64)
+            - np.repeat(mini_offsets[:-1], lengths)
+            + np.repeat(starts, lengths)
+        )
+        pairs = SegmentPairs(seg, flat, mini_offsets, group_idx)
+        mini_masks = remove_masks[np.repeat(row_idx, lengths), flat]
+        new_values[row_idx, group_idx] = aggregate.compute_without_pairs(
+            pairs, mini_masks
+        )
+    for row in range(n_rows):
+        out[row] = metric(new_values[row])
+    return out
 
 

@@ -15,18 +15,34 @@ post-pass:
 
 The pass runs greedily over the top of the ranked list until no merge
 improves.
+
+Like the Ranker, two implementations produce byte-identical output:
+
+* ``algorithm="batch"`` (default) — candidate pairs are grouped by
+  ``frozenset(columns())`` up front (cross-column pairs can never hull),
+  every round's un-scored hulls are evaluated as **one** batched
+  mask-and-Δε pass through the shared
+  :class:`~repro.core.maskset.ClauseMaskCache`, and scored pairs are
+  cached across rounds — after an accepted merge only pairs involving
+  the newly inserted hull (or entries newly promoted into the head
+  window) are scored, instead of rescanning all O(n²) pairs.
+* ``algorithm="per_rule"`` — the original rescan-everything greedy loop,
+  kept as the parity reference.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..db.predicate import CategoricalClause, NumericClause, Predicate
 from ..errors import PipelineError
 from ..learn.metrics import confusion
 from .enumerator import CandidateSet
-from .influence import subset_epsilon_grouped
+from .influence import subset_epsilon_for_mask_set, subset_epsilon_grouped
 from .preprocessor import PreprocessResult
+from .ranker import SCORE_ALGORITHMS, confusion_scores
 from .report import RankedPredicate
 
 
@@ -98,13 +114,18 @@ class PredicateMerger:
     """Greedy hull-merging over the top of a ranked predicate list."""
 
     def __init__(self, weights, max_terms: int = 8, top_n: int = 12,
-                 max_rounds: int = 4):
+                 max_rounds: int = 4, algorithm: str = "batch"):
         if top_n < 2:
             raise PipelineError("top_n must be >= 2")
+        if algorithm not in SCORE_ALGORITHMS:
+            raise PipelineError(
+                f"algorithm must be one of {SCORE_ALGORITHMS}, got {algorithm!r}"
+            )
         self.weights = weights
         self.max_terms = max_terms
         self.top_n = top_n
         self.max_rounds = max_rounds
+        self.algorithm = algorithm
 
     def run(
         self,
@@ -113,6 +134,165 @@ class PredicateMerger:
         ranked: list[RankedPredicate],
     ) -> list[RankedPredicate]:
         """Insert winning merges into ``ranked`` (returned re-sorted)."""
+        if self.algorithm == "per_rule":
+            ranked = self._run_per_rule(pre, candidates, ranked)
+        else:
+            ranked = self._run_batch(pre, candidates, ranked)
+        ranked.sort(key=lambda r: (-r.score, r.complexity, r.predicate.describe()))
+        return ranked
+
+    # ------------------------------------------------------------------
+    # batched greedy pass (default)
+    # ------------------------------------------------------------------
+
+    def _run_batch(
+        self,
+        pre: PreprocessResult,
+        candidates: Sequence[CandidateSet],
+        ranked: list[RankedPredicate],
+    ) -> list[RankedPredicate]:
+        ranked = list(ranked)
+        candidate_by_origin = {c.origin: c for c in candidates}
+        engine = pre.mask_engine()
+        # Scored hulls persist across rounds keyed on the parent entries:
+        # after an accepted merge, only pairs involving entries that are
+        # new to the head window miss the cache and get scored.
+        pair_scores: dict[tuple, RankedPredicate | None] = {}
+        label_cache: dict[str, tuple[np.ndarray, int]] = {}
+        for _ in range(self.max_rounds):
+            head = sorted(ranked, key=lambda r: -r.score)[: self.top_n]
+            # Candidate pairs grouped by column set up front: a hull only
+            # exists within one frozenset(columns()) group, so cross-set
+            # pairs are dropped before any hull/mask work. The i<j
+            # enumeration order matches the reference tie-breaking.
+            column_sets = [frozenset(r.predicate.columns()) for r in head]
+            pairs = [
+                (i, j)
+                for i in range(len(head))
+                for j in range(i + 1, len(head))
+                if column_sets[i] == column_sets[j]
+                and head[i].predicate != head[j].predicate
+            ]
+            to_score = []
+            for i, j in pairs:
+                key = (head[i], head[j])
+                if key in pair_scores:
+                    continue
+                merged = hull(head[i].predicate, head[j].predicate)
+                if merged is None:
+                    pair_scores[key] = None
+                else:
+                    to_score.append((key, merged, head[i], head[j]))
+            if to_score:
+                self._score_pairs_batch(
+                    pre, engine, candidate_by_origin, label_cache,
+                    to_score, pair_scores,
+                )
+            best_merge: RankedPredicate | None = None
+            merged_from: tuple[int, int] | None = None
+            for i, j in pairs:
+                entry = pair_scores[(head[i], head[j])]
+                if entry is None:
+                    continue
+                if entry.score <= max(head[i].score, head[j].score):
+                    continue
+                if best_merge is None or entry.score > best_merge.score:
+                    best_merge = entry
+                    merged_from = (i, j)
+            if best_merge is None or merged_from is None:
+                break
+            drop = {head[merged_from[0]].predicate, head[merged_from[1]].predicate}
+            ranked = [r for r in ranked if r.predicate not in drop]
+            ranked.append(best_merge)
+        return ranked
+
+    def _score_pairs_batch(
+        self,
+        pre: PreprocessResult,
+        engine,
+        candidate_by_origin: dict[str, CandidateSet],
+        label_cache: dict[str, tuple[np.ndarray, int]],
+        to_score: list[tuple],
+        pair_scores: dict[tuple, RankedPredicate | None],
+    ) -> None:
+        """Score a round's un-cached hulls as one mask-and-Δε batch."""
+        predicates = [item[1] for item in to_score]
+        f_masks = engine.mask_set(pre.F, predicates)
+        live = [pos for pos in range(len(to_score)) if f_masks.counts[pos] > 0]
+        for pos in range(len(to_score)):
+            if f_masks.counts[pos] == 0:
+                pair_scores[to_score[pos][0]] = None
+        epsilons_after = subset_epsilon_for_mask_set(
+            pre.segments,
+            f_masks.subset(live),
+            pre.aggregate,
+            pre.metric,
+            positions=pre.segment_positions,
+        )
+        epsilon = pre.epsilon
+        tp_by_origin: dict[str, np.ndarray] = {}
+        for batch_pos, pos in enumerate(live):
+            key, predicate, parent_a, parent_b = to_score[pos]
+            epsilon_after = float(epsilons_after[batch_pos])
+            relative = (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0
+            if relative <= 0:
+                pair_scores[key] = None
+                continue
+            n_matched = int(f_masks.counts[pos])
+            candidate = candidate_by_origin.get(parent_a.candidate_origin)
+            if candidate is not None:
+                origin = parent_a.candidate_origin
+                if origin not in label_cache:
+                    labels = candidate.label_mask(pre.F)
+                    label_cache[origin] = (
+                        engine.pack_labels(labels),
+                        int(np.count_nonzero(labels)),
+                    )
+                if origin not in tp_by_origin:
+                    tp_by_origin[origin] = f_masks.intersection_counts(
+                        label_cache[origin][0]
+                    )
+                tp = int(tp_by_origin[origin][pos])
+                f1, precision, recall = confusion_scores(
+                    tp, n_matched, label_cache[origin][1]
+                )
+            else:
+                f1 = max(parent_a.accuracy, parent_b.accuracy)
+                precision = max(parent_a.precision, parent_b.precision)
+                recall = max(parent_a.recall, parent_b.recall)
+            penalty = min(predicate.complexity / self.max_terms, 1.0)
+            matched_fraction = n_matched / max(len(pre.F), 1)
+            score = (
+                self.weights.error * relative
+                + self.weights.accuracy * f1
+                - self.weights.complexity * penalty
+                - self.weights.parsimony * matched_fraction
+            )
+            pair_scores[key] = RankedPredicate(
+                predicate=predicate,
+                score=score,
+                epsilon_before=epsilon,
+                epsilon_after=epsilon_after,
+                accuracy=f1,
+                precision=precision,
+                recall=recall,
+                complexity=predicate.complexity,
+                n_matched=n_matched,
+                candidate_origin=parent_a.candidate_origin,
+                source=f"merge({parent_a.source}+{parent_b.source})",
+            )
+
+    # ------------------------------------------------------------------
+    # per-rule reference path
+    # ------------------------------------------------------------------
+
+    def _run_per_rule(
+        self,
+        pre: PreprocessResult,
+        candidates: Sequence[CandidateSet],
+        ranked: list[RankedPredicate],
+    ) -> list[RankedPredicate]:
+        """The original rescan-all-pairs greedy loop (parity reference)."""
         ranked = list(ranked)
         candidate_by_origin = {c.origin: c for c in candidates}
         for _ in range(self.max_rounds):
@@ -142,7 +322,6 @@ class PredicateMerger:
             drop = {head[merged_from[0]].predicate, head[merged_from[1]].predicate}
             ranked = [r for r in ranked if r.predicate not in drop]
             ranked.append(best_merge)
-        ranked.sort(key=lambda r: (-r.score, r.complexity, r.predicate.describe()))
         return ranked
 
     def _score(

@@ -54,6 +54,10 @@ class PipelineConfig:
     #: Ranker weights and complexity cap.
     ranker_weights: RankerWeights = field(default_factory=RankerWeights)
     max_terms: int = 8
+    #: Ranker/Merger scoring path: "batch" (bit-packed clause masks +
+    #: one-pass grouped Δε over the whole rule set) or "per_rule" (the
+    #: original loop; byte-identical output, kept for ablation).
+    score_algorithm: str = "batch"
     #: Post-rank hull merging of fragmented predicates (Scorpion-style).
     merge_predicates: bool = False
     #: Cap on candidate datasets.
@@ -102,14 +106,18 @@ class RankedProvenance:
             seed=config_.seed,
         )
         self._ranker = PredicateRanker(
-            weights=config_.ranker_weights, max_terms=config_.max_terms
+            weights=config_.ranker_weights,
+            max_terms=config_.max_terms,
+            algorithm=config_.score_algorithm,
         )
         self._merger = None
         if config_.merge_predicates:
             from .merger import PredicateMerger
 
             self._merger = PredicateMerger(
-                weights=config_.ranker_weights, max_terms=config_.max_terms
+                weights=config_.ranker_weights,
+                max_terms=config_.max_terms,
+                algorithm=config_.score_algorithm,
             )
 
     @property
@@ -147,9 +155,12 @@ class RankedProvenance:
 
         start = time.perf_counter()
         ranked = self._ranker.run(pre, candidates, candidate_rules)
-        if self._merger is not None:
-            ranked = self._merger.run(pre, candidates, ranked)
         timings["rank"] = time.perf_counter() - start
+
+        if self._merger is not None:
+            start = time.perf_counter()
+            ranked = self._merger.run(pre, candidates, ranked)
+            timings["merge"] = time.perf_counter() - start
 
         return DebugReport(
             predicates=tuple(ranked),

@@ -39,6 +39,7 @@ from .influence import InfluenceResult, leave_one_out_influence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..learn.split_index import SplitIndex
+    from .maskset import ClauseMaskCache
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,52 @@ class PreprocessResult:
                 numeric_values=self.numeric_values,
             )
             self._column_memo[key] = cached
+        return cached
+
+    @cached_property
+    def segment_positions(self) -> np.ndarray:
+        """Row positions of F's tuples in segment order.
+
+        Gathering any F-aligned per-row artifact (numeric casts,
+        ``SplitIndex`` bin codes) through this permutation re-aligns it
+        with :attr:`segment_table` without re-deriving it.
+        """
+        return self.F.positions_of(self.flat_tids)
+
+    def mask_engine(self) -> "ClauseMaskCache":
+        """Shared batched mask engine, computed once per cached result.
+
+        The Ranker and Merger evaluate every candidate predicate against
+        F (segment-order remove-masks are gathers of the F masks through
+        :attr:`segment_positions`); the engine
+        (:class:`~repro.core.maskset.ClauseMaskCache`) evaluates each
+        *distinct clause* once and stores masks bit-packed. Numeric
+        clauses whose bounds come from the tree-threshold grid are range
+        tests over the memoized :meth:`split_index` bin codes;
+        everything else uses the shared :meth:`numeric_values` casts.
+        Like the other memos, the engine rides on this (cached) result,
+        so in the service one clause-mask cache serves every session
+        debugging the same selection.
+        """
+        from ..learn.split_index import NumericColumnIndex
+        from .maskset import ClauseMaskCache
+
+        key = ("mask_engine",)
+        cached = self._column_memo.get(key)
+        if cached is not None:
+            return cached
+
+        def f_column_index(column: str):
+            index = self.split_index().columns.get(column)
+            return index if isinstance(index, NumericColumnIndex) else None
+
+        cached = ClauseMaskCache()
+        cached.register(
+            self.F,
+            numeric_values=self.numeric_values,
+            column_index=f_column_index,
+        )
+        self._column_memo[key] = cached
         return cached
 
     def group_masks_for_tids(self, tids: np.ndarray) -> list[np.ndarray]:

@@ -44,9 +44,14 @@ from .segments import (
     SegmentedValues,
     as_segments,
     segment_count,
+    segment_count_batch,
     segment_max,
+    segment_max_batch,
     segment_min,
+    segment_min_batch,
+    segment_stats_batch,
     segment_sum,
+    segment_sum_batch,
 )
 from .sqlparse import SelectStatement, parse_select
 from .table import Table
@@ -97,8 +102,13 @@ __all__ = [
     "plan_select",
     "read_csv",
     "segment_count",
+    "segment_count_batch",
     "segment_max",
+    "segment_max_batch",
     "segment_min",
+    "segment_min_batch",
+    "segment_stats_batch",
     "segment_sum",
+    "segment_sum_batch",
     "write_csv",
 ]

@@ -36,11 +36,17 @@ import numpy as np
 from ..errors import AggregateError
 from .segments import (
     SegmentedValues,
+    SegmentPairs,
     segment_count,
+    segment_count_batch,
     segment_max,
+    segment_max_batch,
     segment_min,
+    segment_min_batch,
     segment_stats,
+    segment_stats_batch,
     segment_sum,
+    segment_sum_batch,
 )
 
 #: Aggregate names accepted by the SQL parser, matching the paper's list.
@@ -139,6 +145,56 @@ class Aggregate:
             dtype=np.float64,
         )
 
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        """``out[r, g]`` = aggregate over segment ``g`` with row ``r``'s
+        masked flat positions removed — R Δε previews in one grouped pass.
+
+        ``remove_masks`` is a ``(R, len(seg))`` boolean matrix (one
+        candidate predicate per row). Algebraic subclasses override with
+        2-D kernels whose per-segment accumulation order matches the 1-D
+        :meth:`compute_without_grouped` exactly, so row ``r`` of the
+        result is bit-identical to the per-rule call — the batched
+        Ranker/Merger scoring path depends on that.
+        """
+        return self.compute_without_grouped_batch_loop(seg, remove_masks)
+
+    def compute_without_grouped_batch_loop(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        """Reference per-row loop for :meth:`compute_without_grouped_batch`."""
+        remove_masks = _as_mask_matrix(seg, remove_masks)
+        if remove_masks.shape[0] == 0:
+            return np.empty((0, seg.n_segments), dtype=np.float64)
+        return np.stack(
+            [self.compute_without_grouped(seg, row) for row in remove_masks]
+        )
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        """``out[p]`` = aggregate over pair ``p``'s segment copy with its
+        masked positions removed — the sparse Δε kernel.
+
+        ``remove_mask`` is flat over ``pairs`` (aligned with
+        ``pairs.values``). Algebraic subclasses override to reuse
+        segment-only statistics precomputed once on the *parent*
+        ``SegmentedValues`` (gathered through ``pairs.flat``), so the
+        per-pair work is only the mask-dependent folds; every override
+        is bit-identical to :meth:`compute_without_grouped` over the
+        same segment because segments are copied wholesale.
+        """
+        return self.compute_without_pairs_loop(pairs, remove_mask)
+
+    def compute_without_pairs_loop(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        """Reference for :meth:`compute_without_pairs`: rebuild the pairs
+        as a standalone segmented array and run the 1-D grouped kernel."""
+        mini = SegmentedValues(pairs.values, pairs.offsets)
+        return self.compute_without_grouped(mini, remove_mask)
+
     def __repr__(self) -> str:
         return f"<aggregate {self.name}>"
 
@@ -162,6 +218,13 @@ def _as_flat_mask(seg: SegmentedValues, remove_mask: np.ndarray) -> np.ndarray:
     if len(remove_mask) != len(seg.values):
         raise AggregateError("remove mask length does not match values")
     return remove_mask
+
+
+def _as_mask_matrix(seg: SegmentedValues, remove_masks: np.ndarray) -> np.ndarray:
+    remove_masks = np.asarray(remove_masks, dtype=bool)
+    if remove_masks.ndim != 2 or remove_masks.shape[1] != len(seg.values):
+        raise AggregateError("remove mask matrix shape does not match values")
+    return remove_masks
 
 
 def _valid(values: np.ndarray) -> np.ndarray:
@@ -202,6 +265,18 @@ class Count(Aggregate):
     ) -> np.ndarray:
         remove_mask = _as_flat_mask(seg, remove_mask)
         return segment_count(seg.valid & ~remove_mask, seg.offsets)
+
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        remove_masks = _as_mask_matrix(seg, remove_masks)
+        return segment_count_batch(seg.valid[None, :] & ~remove_masks, seg.offsets)
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        keep = pairs.valid & ~remove_mask
+        return segment_count(keep, pairs.offsets)
 
 
 class Sum(Aggregate):
@@ -255,6 +330,19 @@ class Sum(Aggregate):
     ) -> np.ndarray:
         remove_mask = _as_flat_mask(seg, remove_mask)
         n_kept, kept_total = segment_stats(seg, where=~remove_mask)
+        return np.where(n_kept > 0, kept_total, np.nan)
+
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        remove_masks = _as_mask_matrix(seg, remove_masks)
+        n_kept, kept_total = segment_stats_batch(seg, ~remove_masks)
+        return np.where(n_kept > 0, kept_total, np.nan)
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        n_kept, kept_total = _pair_stats(pairs, remove_mask)
         return np.where(n_kept > 0, kept_total, np.nan)
 
 
@@ -322,6 +410,23 @@ class Avg(Aggregate):
     ) -> np.ndarray:
         remove_mask = _as_flat_mask(seg, remove_mask)
         n_kept, kept_total = segment_stats(seg, where=~remove_mask)
+        with np.errstate(invalid="ignore"):
+            mean = kept_total / np.maximum(n_kept, 1.0)
+        return np.where(n_kept > 0, mean, np.nan)
+
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        remove_masks = _as_mask_matrix(seg, remove_masks)
+        n_kept, kept_total = segment_stats_batch(seg, ~remove_masks)
+        with np.errstate(invalid="ignore"):
+            mean = kept_total / np.maximum(n_kept, 1.0)
+        return np.where(n_kept > 0, mean, np.nan)
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        n_kept, kept_total = _pair_stats(pairs, remove_mask)
         with np.errstate(invalid="ignore"):
             mean = kept_total / np.maximum(n_kept, 1.0)
         return np.where(n_kept > 0, mean, np.nan)
@@ -427,6 +532,54 @@ class Var(Aggregate):
         var = np.maximum(var, 0.0)
         return np.where(n_kept >= 2, var, np.nan)
 
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        # The mask-independent statistics (per-group valid counts, full
+        # means, centered values) are computed once for the whole batch;
+        # only the kept-subset moments are per-row work.
+        remove_masks = _as_mask_matrix(seg, remove_masks)
+        n_valid, total = segment_stats(seg)
+        keep = seg.valid[None, :] & ~remove_masks
+        n_kept = segment_count_batch(keep, seg.offsets)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = total / np.maximum(n_valid, 1.0)
+            centered = seg.values - mean[seg.segment_ids]
+            kept_c = np.where(keep, centered[None, :], 0.0)
+            tc = segment_sum_batch(kept_c, seg.offsets)
+            tc2 = segment_sum_batch(kept_c * kept_c, seg.offsets)
+            var = (tc2 - tc * tc / np.maximum(n_kept, 1.0)) / (n_kept - 1.0)
+        var = np.maximum(var, 0.0)
+        return np.where(n_kept >= 2, var, np.nan)
+
+    @staticmethod
+    def _centered_on_full_mean(seg: SegmentedValues) -> np.ndarray:
+        """``values − full-group-mean`` per flat position, memoized on
+        the segments: the only mask-independent part of the
+        sufficient-statistics form, shared by every pair call."""
+        centered = seg.memo.get("var_centered_full_mean")
+        if centered is None:
+            n_valid, total = segment_stats(seg)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                mean = total / np.maximum(n_valid, 1.0)
+                centered = seg.values - mean[seg.segment_ids]
+            seg.memo["var_centered_full_mean"] = centered
+        return centered
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        centered = self._centered_on_full_mean(pairs.seg)[pairs.flat]
+        keep = pairs.valid & ~remove_mask
+        n_kept = segment_count(keep, pairs.offsets)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            kept_c = np.where(keep, centered, 0.0)
+            tc = segment_sum(kept_c, pairs.offsets)
+            tc2 = segment_sum(kept_c * kept_c, pairs.offsets)
+            var = (tc2 - tc * tc / np.maximum(n_kept, 1.0)) / (n_kept - 1.0)
+        var = np.maximum(var, 0.0)
+        return np.where(n_kept >= 2, var, np.nan)
+
 
 def _segment_central_moments(
     seg: SegmentedValues,
@@ -477,6 +630,18 @@ class Stddev(Aggregate):
         with np.errstate(invalid="ignore"):
             return np.sqrt(self._var.compute_without_grouped(seg, remove_mask))
 
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(self._var.compute_without_grouped_batch(seg, remove_masks))
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(self._var.compute_without_pairs(pairs, remove_mask))
+
 
 class Min(Aggregate):
     """``min(x)``."""
@@ -503,6 +668,16 @@ class Min(Aggregate):
     ) -> np.ndarray:
         return _segment_extreme_without(seg, remove_mask, smallest=True)
 
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without_batch(seg, remove_masks, smallest=True)
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without_pairs(pairs, remove_mask, smallest=True)
+
 
 class Max(Aggregate):
     """``max(x)``."""
@@ -528,6 +703,27 @@ class Max(Aggregate):
         self, seg: SegmentedValues, remove_mask: np.ndarray
     ) -> np.ndarray:
         return _segment_extreme_without(seg, remove_mask, smallest=False)
+
+    def compute_without_grouped_batch(
+        self, seg: SegmentedValues, remove_masks: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without_batch(seg, remove_masks, smallest=False)
+
+    def compute_without_pairs(
+        self, pairs: SegmentPairs, remove_mask: np.ndarray
+    ) -> np.ndarray:
+        return _segment_extreme_without_pairs(pairs, remove_mask, smallest=False)
+
+
+def _pair_stats(
+    pairs: SegmentPairs, remove_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(n_kept, kept_total)`` per pair — :func:`segment_stats` of the
+    pair copies restricted to the un-removed positions."""
+    keep = pairs.valid & ~remove_mask
+    n_kept = segment_count(keep, pairs.offsets)
+    kept_total = segment_sum(np.where(keep, pairs.values, 0.0), pairs.offsets)
+    return n_kept, kept_total
 
 
 def _segment_extreme(seg: SegmentedValues, smallest: bool) -> np.ndarray:
@@ -582,6 +778,37 @@ def _segment_extreme_without(
         np.where(keep, seg.values, sentinel), seg.offsets, empty_fill=sentinel
     )
     n_kept = segment_count(keep, seg.offsets)
+    return np.where(n_kept > 0, ext, np.nan)
+
+
+def _segment_extreme_without_pairs(
+    pairs: SegmentPairs, remove_mask: np.ndarray, smallest: bool
+) -> np.ndarray:
+    """Per-pair min/max after removing each pair's masked positions."""
+    sentinel = np.inf if smallest else -np.inf
+    reducer = segment_min if smallest else segment_max
+    keep = pairs.valid & ~remove_mask
+    ext = reducer(
+        np.where(keep, pairs.values, sentinel), pairs.offsets, empty_fill=sentinel
+    )
+    n_kept = segment_count(keep, pairs.offsets)
+    return np.where(n_kept > 0, ext, np.nan)
+
+
+def _segment_extreme_without_batch(
+    seg: SegmentedValues, remove_masks: np.ndarray, smallest: bool
+) -> np.ndarray:
+    """Per-(row, segment) min/max after removing each row's masked positions."""
+    remove_masks = _as_mask_matrix(seg, remove_masks)
+    sentinel = np.inf if smallest else -np.inf
+    reducer = segment_min_batch if smallest else segment_max_batch
+    keep = seg.valid[None, :] & ~remove_masks
+    ext = reducer(
+        np.where(keep, seg.values[None, :], sentinel),
+        seg.offsets,
+        empty_fill=sentinel,
+    )
+    n_kept = segment_count_batch(keep, seg.offsets)
     return np.where(n_kept > 0, ext, np.nan)
 
 

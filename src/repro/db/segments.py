@@ -53,7 +53,7 @@ class SegmentedValues:
         segments are allowed.
     """
 
-    __slots__ = ("values", "offsets", "_segment_ids", "_valid")
+    __slots__ = ("values", "offsets", "_segment_ids", "_valid", "memo")
 
     def __init__(self, values: np.ndarray, offsets: np.ndarray):
         values = np.asarray(values)
@@ -70,6 +70,11 @@ class SegmentedValues:
         self.offsets = offsets
         self._segment_ids: np.ndarray | None = None
         self._valid: np.ndarray | None = None
+        #: Kernel-local caches of segment-only derivations (e.g. the
+        #: no-removal baselines and central moments the pair-sparse Δε
+        #: kernels reuse). Keyed by the kernels themselves; races are
+        #: benign (recomputation yields identical values).
+        self.memo: dict = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -194,9 +199,88 @@ def _reduceat(
     return out
 
 
+def _reduceat_batch(
+    ufunc: np.ufunc,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    empty_fill: float,
+) -> np.ndarray:
+    """:func:`_reduceat` over a ``(rows, n)`` matrix, one pass per call.
+
+    ``out[r, g]`` reduces ``values[r, offsets[g]:offsets[g + 1]]``. The
+    per-segment accumulation order is identical to the 1-D kernel (a
+    sequential left fold), so batching R rows produces bit-identical
+    results to R separate 1-D calls — the property the batched Δε
+    scorer's parity tests rely on.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise AggregateError("batched reduceat requires a 2-D value matrix")
+    rows = values.shape[0]
+    n = len(offsets) - 1
+    out = np.full((rows, n), empty_fill, dtype=np.float64)
+    if n == 0 or values.shape[1] == 0 or rows == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = starts < offsets[1:]
+    if nonempty.any():
+        out[:, nonempty] = ufunc.reduceat(values, starts[nonempty], axis=1)
+    return out
+
+
 def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Per-segment sum; empty segments sum to 0."""
     return _reduceat(np.add, np.asarray(values, dtype=np.float64), offsets, 0.0)
+
+
+def segment_sum_batch(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`segment_sum` of a ``(rows, n)`` matrix."""
+    return _reduceat_batch(np.add, values, offsets, 0.0)
+
+
+def segment_min_batch(
+    values: np.ndarray, offsets: np.ndarray, empty_fill: float = np.inf
+) -> np.ndarray:
+    """Row-wise :func:`segment_min` of a ``(rows, n)`` matrix."""
+    return _reduceat_batch(np.minimum, values, offsets, empty_fill)
+
+
+def segment_max_batch(
+    values: np.ndarray, offsets: np.ndarray, empty_fill: float = -np.inf
+) -> np.ndarray:
+    """Row-wise :func:`segment_max` of a ``(rows, n)`` matrix."""
+    return _reduceat_batch(np.maximum, values, offsets, empty_fill)
+
+
+def segment_count_batch(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`segment_count` of a ``(rows, n)`` boolean matrix.
+
+    Boolean input is accumulated as int64 (no ``(rows, n)`` float64
+    temporary); the result is converted to float64 afterwards, which is
+    exact for counts and therefore bit-identical to the float-sum form.
+    """
+    mask = np.asarray(mask)
+    if mask.dtype == np.bool_:
+        return _count_reduceat_batch(mask, offsets).astype(np.float64)
+    return segment_sum_batch(np.asarray(mask, dtype=np.float64), offsets)
+
+
+def _count_reduceat_batch(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-(row, segment) True counts of a boolean matrix, as int64."""
+    if mask.ndim != 2:
+        raise AggregateError("batched reduceat requires a 2-D value matrix")
+    rows = mask.shape[0]
+    n = len(offsets) - 1
+    out = np.zeros((rows, n), dtype=np.int64)
+    if n == 0 or mask.shape[1] == 0 or rows == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = starts < offsets[1:]
+    if nonempty.any():
+        out[:, nonempty] = np.add.reduceat(
+            mask.view(np.uint8), starts[nonempty], axis=1, dtype=np.int64
+        )
+    return out
 
 
 def segment_min(
@@ -214,7 +298,15 @@ def segment_max(
 
 
 def segment_count(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
-    """Per-segment count of True positions in a boolean mask."""
+    """Per-segment count of True positions in a boolean mask.
+
+    Boolean input is accumulated as int64 and converted — exact for
+    counts, so bit-identical to the float-sum form, without the float64
+    temporary.
+    """
+    mask = np.asarray(mask)
+    if mask.dtype == np.bool_:
+        return _count_reduceat_batch(mask[None, :], offsets)[0].astype(np.float64)
     return segment_sum(np.asarray(mask, dtype=np.float64), offsets)
 
 
@@ -229,6 +321,70 @@ def segment_stats(
     keep = seg.valid if where is None else (seg.valid & where)
     n_valid = segment_count(keep, seg.offsets)
     total = segment_sum(np.where(keep, seg.values, 0.0), seg.offsets)
+    return n_valid, total
+
+
+class SegmentPairs:
+    """A compacted selection of (mask-row, segment) pairs.
+
+    The sparse Δε scorer copies *whole segments* — only those a
+    remove-mask actually touches — into one flat array and re-aggregates
+    just these pairs. ``flat`` holds the gather indices into the parent
+    ``seg.values`` (each touched segment's full range, concatenated),
+    ``offsets`` delimits the pairs, and ``group_idx`` names each pair's
+    original segment. Because every grouped kernel is a per-segment-local
+    left fold, re-running it over a wholesale-copied segment is
+    bit-identical to running it in place — the property that lets the
+    pair kernels in :mod:`repro.db.aggregates` reuse precomputed
+    segment statistics without changing a single bit of output.
+    """
+
+    __slots__ = ("seg", "flat", "offsets", "group_idx", "values", "_valid")
+
+    def __init__(
+        self,
+        seg: SegmentedValues,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        group_idx: np.ndarray,
+    ):
+        self.seg = seg
+        self.flat = flat
+        self.offsets = offsets
+        self.group_idx = group_idx
+        self.values = seg.values[flat]
+        self._valid: np.ndarray | None = None
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of (mask-row, segment) pairs."""
+        return len(self.offsets) - 1
+
+    @property
+    def valid(self) -> np.ndarray:
+        """Non-NaN flat positions (gathered from the parent, cached)."""
+        if self._valid is None:
+            self._valid = self.seg.valid[self.flat]
+        return self._valid
+
+
+def segment_stats_batch(
+    seg: SegmentedValues, where: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`segment_stats` for a ``(rows, n)`` restriction matrix.
+
+    Returns ``(n_valid, total)`` of shape ``(rows, n_segments)``: row
+    ``r`` equals ``segment_stats(seg, where[r])`` bit-for-bit (the batch
+    kernels keep the 1-D accumulation order).
+    """
+    where = np.asarray(where, dtype=bool)
+    if where.ndim != 2 or where.shape[1] != len(seg.values):
+        raise AggregateError("restriction matrix shape does not match segments")
+    keep = seg.valid[None, :] & where
+    n_valid = segment_count_batch(keep, seg.offsets)
+    total = segment_sum_batch(
+        np.where(keep, seg.values[None, :], 0.0), seg.offsets
+    )
     return n_valid, total
 
 

@@ -76,6 +76,13 @@ class DBWipesSession:
         self._agg_name: str | None = None
         self._report: DebugReport | None = None
         self._state: str = "new"
+        # Per-stage wall-clock counters (preprocess / enumerate / rank /
+        # merge): the last debug's timings plus lifetime accumulations,
+        # exposed via snapshot() so a live server reveals which pipeline
+        # stage dominates without ad-hoc profiling.
+        self._stage_timings: dict[str, float] = {}
+        self._stage_totals: dict[str, float] = {}
+        self._debug_count: int = 0
 
     @property
     def state(self) -> str:
@@ -112,6 +119,11 @@ class DBWipesSession:
             ],
             "can_redo": self._rewriter.can_redo if self._rewriter is not None else False,
             "n_ranked": len(self._report) if self._report is not None else 0,
+            "timings": {
+                "debug_count": self._debug_count,
+                "last": dict(self._stage_timings),
+                "total": dict(self._stage_totals),
+            },
         }
         return snapshot
 
@@ -311,6 +323,10 @@ class DBWipesSession:
             agg_name=self._agg_name or self._default_agg_name(),
         )
         self._report = report
+        self._stage_timings = dict(report.timings)
+        for stage, seconds in report.timings.items():
+            self._stage_totals[stage] = self._stage_totals.get(stage, 0.0) + seconds
+        self._debug_count += 1
         self._state = "debugged"
         return report
 

@@ -15,6 +15,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.core import PipelineConfig
 from repro.data import FECConfig, generate_fec, walkthrough_query
 from repro.db import Database
 from repro.frontend import Brush, DBWipesSession
@@ -37,9 +38,9 @@ def _fec_db() -> Database:
     return db
 
 
-def _debug_lines(db: Database) -> list[str]:
+def _debug_lines(db: Database, config: PipelineConfig | None = None) -> list[str]:
     """One scripted §3.2 FEC debug cycle, rendered to stable text lines."""
-    session = DBWipesSession(db)
+    session = DBWipesSession(db, config)
     session.execute(walkthrough_query("MCCAIN"))
     session.select_results(Brush.below(0.0))
     session.zoom()
@@ -114,6 +115,32 @@ class TestDebugCycleDeterminism:
             outputs.append(proc.stdout)
         assert outputs[0] == outputs[1]
         assert outputs[0].strip()
+
+
+class TestBatchedScoringParity:
+    """The batched Ranker/Merger path must be byte-identical to the
+    per-rule reference on the full debug cycle — scores, Δε previews,
+    descriptions, order, everything that reaches the user."""
+
+    def test_batch_and_per_rule_reference_are_byte_identical(self):
+        db = _fec_db()
+        batch = _debug_lines(db, PipelineConfig(score_algorithm="batch"))
+        reference = _debug_lines(db, PipelineConfig(score_algorithm="per_rule"))
+        assert batch  # the cycle must actually rank something
+        assert batch == reference
+
+    def test_parity_holds_with_merging_enabled(self):
+        db = _fec_db()
+        batch = _debug_lines(
+            db,
+            PipelineConfig(score_algorithm="batch", merge_predicates=True),
+        )
+        reference = _debug_lines(
+            db,
+            PipelineConfig(score_algorithm="per_rule", merge_predicates=True),
+        )
+        assert batch
+        assert batch == reference
 
 
 class TestServiceModeParity:

@@ -1,0 +1,285 @@
+"""Property harness: the batched mask engine ≡ ``Predicate.mask``.
+
+The batched Ranker/Merger path is only byte-identical to the per-rule
+reference if every engine-evaluated mask equals the reference mask
+bit-for-bit. This harness drives :class:`repro.core.ClauseMaskCache`
+over seeded random tables mixing numeric (int and float-with-NaN) and
+categorical (string-with-NULL) columns, with random predicates covering
+inclusive/exclusive/unbounded interval ends, equality intervals, and
+plain/negated categorical membership — plus the 2-D grouped Δε kernels
+against their per-row loop references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClauseMaskCache, subset_epsilon_grouped_batch
+from repro.core.influence import (
+    subset_epsilon_for_mask_set,
+    subset_epsilon_grouped,
+)
+from repro.core.maskset import MaskSet, pack_mask, popcount, unpack_masks
+from repro.db import Table, get_aggregate
+from repro.db.predicate import CategoricalClause, NumericClause, Predicate
+from repro.db.segments import SegmentedValues, SegmentPairs
+from repro.core.error_metrics import TooHigh
+
+CATEGORIES = ("a", "bb", "ccc", "dd", "e")
+
+
+def _random_table(rng: np.random.Generator, n: int) -> Table:
+    """A table mixing int, float-with-NaN, and string-with-NULL columns."""
+    ints = rng.integers(-5, 6, n)
+    floats = np.round(rng.normal(0.0, 10.0, n), 1)
+    floats[rng.random(n) < 0.15] = np.nan
+    cats = [
+        None if rng.random() < 0.2 else str(rng.choice(CATEGORIES))
+        for __ in range(n)
+    ]
+    return Table.from_columns(
+        {"i": ints, "f": floats, "c": cats},
+        types={"i": "int", "f": "float", "c": "str"},
+    )
+
+
+def _random_numeric_clause(rng: np.random.Generator, column: str) -> NumericClause:
+    kind = rng.integers(0, 4)
+    # Bounds drawn from the same value range as the data, sometimes
+    # exactly on data points (rounded grid), sometimes off-grid.
+    lo = float(np.round(rng.normal(0.0, 8.0), rng.integers(0, 3)))
+    hi = lo + abs(float(np.round(rng.normal(0.0, 8.0), rng.integers(0, 3))))
+    lo_inc = bool(rng.random() < 0.5)
+    hi_inc = bool(rng.random() < 0.5)
+    if kind == 0:
+        return NumericClause(column, lo, None, lo_inclusive=lo_inc)
+    if kind == 1:
+        return NumericClause(column, None, hi, hi_inclusive=hi_inc)
+    if kind == 2:
+        return NumericClause(column, lo, hi, lo_inc, hi_inc)
+    return NumericClause(column, lo, lo, True, True)  # equality interval
+
+
+def _random_categorical_clause(
+    rng: np.random.Generator, column: str
+) -> CategoricalClause:
+    k = int(rng.integers(1, 4))
+    values = frozenset(
+        str(v) for v in rng.choice(CATEGORIES, size=k, replace=False)
+    )
+    return CategoricalClause(column, values, negated=bool(rng.random() < 0.4))
+
+
+def _random_predicate(rng: np.random.Generator) -> Predicate:
+    clauses = []
+    picks = rng.random(3)
+    if picks[0] < 0.6:
+        clauses.append(_random_numeric_clause(rng, "f"))
+    if picks[1] < 0.6:
+        clauses.append(_random_numeric_clause(rng, "i"))
+    if picks[2] < 0.6:
+        clauses.append(_random_categorical_clause(rng, "c"))
+    if not clauses:
+        clauses.append(_random_numeric_clause(rng, "f"))
+    return Predicate(clauses)
+
+
+class TestMaskParityProperty:
+    def test_engine_masks_equal_reference_over_random_tables(self):
+        rng = np.random.default_rng(1234)
+        for round_index in range(30):
+            table = _random_table(rng, int(rng.integers(1, 200)))
+            engine = ClauseMaskCache()
+            predicates = [_random_predicate(rng) for __ in range(25)]
+            mask_set = engine.mask_set(table, predicates)
+            bools = mask_set.bools()
+            for row, predicate in enumerate(predicates):
+                expected = predicate.mask(table)
+                np.testing.assert_array_equal(
+                    bools[row],
+                    expected,
+                    err_msg=f"round {round_index}: {predicate.describe()}",
+                )
+                assert mask_set.counts[row] == int(expected.sum())
+
+    def test_true_predicate_and_empty_table(self):
+        engine = ClauseMaskCache()
+        table = _random_table(np.random.default_rng(7), 13)
+        mask_set = engine.mask_set(table, [Predicate.true()])
+        assert mask_set.counts[0] == 13
+        assert mask_set.bools()[0].all()
+
+        empty = table.filter(np.zeros(13, dtype=bool))
+        empty_set = engine.mask_set(empty, [Predicate.true()])
+        assert empty_set.counts[0] == 0
+
+    def test_distinct_clauses_evaluated_once(self):
+        engine = ClauseMaskCache()
+        table = _random_table(np.random.default_rng(3), 50)
+        shared = NumericClause("f", 0.0, None)
+        predicates = [
+            Predicate([shared]),
+            Predicate([shared, CategoricalClause("c", frozenset(["a"]))]),
+            Predicate([shared, NumericClause("i", None, 2.0)]),
+        ]
+        engine.mask_set(table, predicates)
+        stats = engine.stats()
+        assert stats["clauses"] == 3  # shared clause cached once
+        assert stats["predicates"] == 3
+
+        # A repeated evaluation is pure cache hits: no new entries.
+        engine.mask_set(table, predicates)
+        assert engine.stats() == stats
+
+    def test_fallback_covers_off_fast_path_clauses(self):
+        # A categorical clause over a numeric column has no code table;
+        # the engine must fall back to the reference evaluator.
+        engine = ClauseMaskCache()
+        table = _random_table(np.random.default_rng(11), 60)
+        predicate = Predicate([CategoricalClause("i", frozenset([2, 3]))])
+        np.testing.assert_array_equal(
+            engine.predicate_mask(table, predicate), predicate.mask(table)
+        )
+
+    def test_digests_identify_equal_masks(self):
+        engine = ClauseMaskCache()
+        table = _random_table(np.random.default_rng(5), 80)
+        same_a = Predicate([NumericClause("f", 0.0, None)])
+        # A redundant second clause: different predicate, identical mask.
+        same_b = Predicate(
+            [NumericClause("f", 0.0, None), NumericClause("f", -1e9, None)]
+        )
+        different = Predicate([NumericClause("f", None, 0.0)])
+        mask_set = engine.mask_set(table, [same_a, same_b, different])
+        digests = mask_set.digests()
+        assert digests[0] == digests[1]
+        assert digests[0] != digests[2]
+
+
+class TestPackedHelpers:
+    def test_pack_unpack_roundtrip_and_popcount(self):
+        rng = np.random.default_rng(9)
+        for n in (0, 1, 7, 8, 9, 64, 130):
+            mask = rng.random(n) < 0.4
+            packed = pack_mask(mask)
+            np.testing.assert_array_equal(unpack_masks(packed, n)[0], mask)
+            assert popcount(packed)[0] == int(mask.sum())
+
+
+class TestBatchDeltaEpsilonKernels:
+    @pytest.mark.parametrize(
+        "agg_name", ["count", "sum", "avg", "var", "stddev", "min", "max"]
+    )
+    def test_compute_without_grouped_batch_matches_loop(self, agg_name):
+        rng = np.random.default_rng(42)
+        aggregate = get_aggregate(agg_name)
+        values = rng.normal(10.0, 4.0, 300)
+        values[rng.random(300) < 0.1] = np.nan
+        # Ragged segments including an empty and a singleton one.
+        offsets = np.array([0, 0, 1, 40, 40, 120, 300], dtype=np.int64)
+        seg = SegmentedValues(values, offsets)
+        masks = rng.random((17, 300)) < 0.3
+        batch = aggregate.compute_without_grouped_batch(seg, masks)
+        loop = aggregate.compute_without_grouped_batch_loop(seg, masks)
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_subset_epsilon_grouped_batch_matches_scalar(self):
+        rng = np.random.default_rng(8)
+        aggregate = get_aggregate("stddev")
+        metric = TooHigh(2.0)
+        seg = SegmentedValues.from_arrays(
+            [rng.normal(5, 2, 50), rng.normal(5, 6, 80), rng.normal(5, 1, 10)]
+        )
+        masks = rng.random((9, len(seg.values))) < 0.25
+        batch = subset_epsilon_grouped_batch(seg, masks, aggregate, metric)
+        for row in range(9):
+            assert batch[row] == subset_epsilon_grouped(
+                seg, masks[row], aggregate, metric
+            )
+
+    @pytest.mark.parametrize(
+        "agg_name", ["count", "sum", "avg", "var", "stddev", "min", "max"]
+    )
+    def test_pair_kernels_match_pair_loop(self, agg_name):
+        """The precomputed-statistics pair kernels ≡ rebuilding the pairs
+        as a fresh segmented array and running the 1-D grouped kernel."""
+        rng = np.random.default_rng(77)
+        aggregate = get_aggregate(agg_name)
+        values = rng.normal(3.0, 2.0, 240)
+        values[rng.random(240) < 0.12] = np.nan
+        seg = SegmentedValues(
+            values, np.array([0, 10, 10, 60, 200, 240], dtype=np.int64)
+        )
+        group_idx = np.array([0, 2, 3, 3, 4], dtype=np.int64)
+        lengths = seg.lengths[group_idx]
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        starts = seg.offsets[:-1][group_idx]
+        flat = (
+            np.arange(int(lengths.sum()), dtype=np.int64)
+            - np.repeat(offsets[:-1], lengths)
+            + np.repeat(starts, lengths)
+        )
+        pairs = SegmentPairs(seg, flat, offsets, group_idx)
+        mask = rng.random(len(flat)) < 0.35
+        np.testing.assert_array_equal(
+            aggregate.compute_without_pairs(pairs, mask),
+            aggregate.compute_without_pairs_loop(pairs, mask),
+        )
+
+    def test_mask_set_epsilons_match_scalar_and_memoize(self):
+        rng = np.random.default_rng(23)
+        aggregate = get_aggregate("stddev")
+        metric = TooHigh(1.0)
+        seg = SegmentedValues.from_arrays(
+            [rng.normal(0, s, 40) for s in (1.0, 3.0, 0.5, 2.0)]
+        )
+        n = len(seg.values)
+        masks = rng.random((12, n)) < 0.2
+        masks[3] = masks[0]  # duplicate masks share one scoring
+        masks[7] = False     # untouched everywhere -> pure baseline
+        packed = np.stack([pack_mask(row) for row in masks])
+        mask_set = MaskSet(n, packed, masks.sum(axis=1))
+        batched = subset_epsilon_for_mask_set(seg, mask_set, aggregate, metric)
+        for row in range(12):
+            assert batched[row] == subset_epsilon_grouped(
+                seg, masks[row], aggregate, metric
+            )
+        # Second call: every digest hits the ε memo on the segments.
+        cache_keys = [k for k in seg.memo if k[0] == "subset_epsilon"]
+        assert len(cache_keys) == 1
+        again = subset_epsilon_for_mask_set(seg, mask_set, aggregate, metric)
+        np.testing.assert_array_equal(batched, again)
+
+    def test_mask_set_epsilons_with_position_gather(self):
+        """Masks over F re-ordered into segment order ≡ direct masks."""
+        rng = np.random.default_rng(31)
+        aggregate = get_aggregate("avg")
+        metric = TooHigh(0.5)
+        seg = SegmentedValues.from_arrays(
+            [rng.normal(0, 1, 30), rng.normal(1, 1, 50)]
+        )
+        n = len(seg.values)
+        positions = rng.permutation(n)  # segment order -> "F order" map
+        f_order_masks = rng.random((5, n)) < 0.3
+        packed = np.stack([pack_mask(row) for row in f_order_masks])
+        mask_set = MaskSet(n, packed, f_order_masks.sum(axis=1))
+        batched = subset_epsilon_for_mask_set(
+            seg, mask_set, aggregate, metric, positions=positions
+        )
+        for row in range(5):
+            assert batched[row] == subset_epsilon_grouped(
+                seg, f_order_masks[row][positions], aggregate, metric
+            )
+
+    def test_batch_chunks_are_seamless(self):
+        rng = np.random.default_rng(15)
+        aggregate = get_aggregate("avg")
+        metric = TooHigh(0.0)
+        seg = SegmentedValues.from_arrays([rng.normal(1, 1, 64), rng.normal(2, 1, 64)])
+        masks = rng.random((11, 128)) < 0.5
+        full = subset_epsilon_grouped_batch(seg, masks, aggregate, metric)
+        chunked = subset_epsilon_grouped_batch(
+            seg, masks, aggregate, metric, max_elements=130
+        )
+        np.testing.assert_array_equal(full, chunked)

@@ -112,3 +112,38 @@ class TestMergerEndToEnd:
     def test_top_n_validation(self):
         with pytest.raises(PipelineError):
             PredicateMerger(weights=RankerWeights(), top_n=1)
+
+    def test_algorithm_validation(self):
+        with pytest.raises(PipelineError):
+            PredicateMerger(weights=RankerWeights(), algorithm="nope")
+
+    def test_batch_is_byte_identical_to_reference(self, fragmented_workload):
+        """The batched greedy pass (pair cache, grouped pairs, batched
+        Δε) must reproduce the rescan-everything reference exactly."""
+        result, bad_tids = fragmented_workload
+
+        def lines(score_algorithm):
+            report = RankedProvenance(
+                PipelineConfig(
+                    feature_columns=("x",),
+                    merge_predicates=True,
+                    score_algorithm=score_algorithm,
+                )
+            ).debug(result, [0], TooHigh(52.0), dprime_tids=bad_tids)
+            return [
+                "|".join(
+                    (
+                        entry.predicate.describe(),
+                        repr(entry.score),
+                        repr(entry.epsilon_after),
+                        repr(entry.accuracy),
+                        entry.source,
+                    )
+                )
+                for entry in report
+            ]
+
+        batch = lines("batch")
+        assert batch == lines("per_rule")
+        # The workload fragments, so the parity covers accepted merges.
+        assert any("merge(" in line for line in batch)

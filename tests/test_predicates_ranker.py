@@ -135,3 +135,62 @@ class TestPredicateRanker:
     def test_negative_weights_rejected(self):
         with pytest.raises(PipelineError):
             RankerWeights(error=-1.0)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(PipelineError):
+            PredicateRanker(algorithm="nope")
+
+
+class TestBatchReferenceParity:
+    """The batched scorer must match the per-rule reference exactly."""
+
+    @staticmethod
+    def _lines(ranked):
+        return [
+            "|".join(
+                (
+                    entry.predicate.describe(),
+                    repr(entry.score),
+                    repr(entry.epsilon_after),
+                    repr(entry.accuracy),
+                    repr(entry.precision),
+                    repr(entry.recall),
+                    str(entry.n_matched),
+                    entry.candidate_origin,
+                    entry.source,
+                )
+            )
+            for entry in ranked
+        ]
+
+    def test_batch_is_byte_identical_to_per_rule(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        batch = PredicateRanker(algorithm="batch").run(pre, candidates, rules)
+        reference = PredicateRanker(algorithm="per_rule").run(pre, candidates, rules)
+        assert self._lines(batch) == self._lines(reference)
+        assert batch  # the comparison is not vacuous
+
+    def test_batch_parity_without_nonpositive_drop(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        batch = PredicateRanker(
+            algorithm="batch", drop_nonpositive_error=False
+        ).run(pre, candidates, rules)
+        reference = PredicateRanker(
+            algorithm="per_rule", drop_nonpositive_error=False
+        ).run(pre, candidates, rules)
+        assert self._lines(batch) == self._lines(reference)
+
+    def test_mask_engine_memoized_on_preprocess_result(self, stage_setup):
+        pre, candidates = stage_setup
+        rules = PredicateEnumerator().run(pre, candidates)
+        PredicateRanker().run(pre, candidates, rules)
+        keys = [k for k in pre._column_memo if k[0] == "mask_engine"]
+        assert len(keys) == 1
+        engine = pre.mask_engine()
+        stats = engine.stats()
+        assert stats["predicates"] > 0
+        # A re-rank reuses the cached clause/predicate masks.
+        PredicateRanker().run(pre, candidates, rules)
+        assert engine.stats() == stats

@@ -216,6 +216,11 @@ class TestProtocolRoundTrip:
         assert snapshot["applied_predicates"] == [
             reference_report.best.predicate.describe()
         ]
+        # Per-stage timing counters survive the wire: a live dashboard
+        # can read stage dominance without ad-hoc profiling.
+        assert snapshot["timings"]["debug_count"] == 1
+        assert set(snapshot["timings"]["last"]) == set(report["timings"])
+        assert set(snapshot["timings"]["total"]) == set(report["timings"])
 
         names = [s["name"] for s in client.sessions()]
         assert "roundtrip" in names

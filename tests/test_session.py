@@ -128,6 +128,24 @@ class TestDebugAndClean:
         assert len(report) > 0
         assert session.report is report
 
+    def test_snapshot_carries_stage_timing_counters(self, session):
+        assert session.snapshot()["timings"] == {
+            "debug_count": 0, "last": {}, "total": {},
+        }
+        report = self._run_to_report(session)
+        timings = session.snapshot()["timings"]
+        assert timings["debug_count"] == 1
+        assert timings["last"] == dict(report.timings)
+        assert set(timings["last"]) >= {
+            "preprocess", "enumerate_datasets", "enumerate_predicates", "rank",
+        }
+        # A second debug accumulates the totals but replaces "last".
+        session.debug()
+        timings = session.snapshot()["timings"]
+        assert timings["debug_count"] == 2
+        for stage, total in timings["total"].items():
+            assert total >= timings["last"][stage]
+
     def test_error_form_offers_sum_metrics(self, session):
         result = session.execute(QUERY)
         session.select_results(negative_rows(result))
