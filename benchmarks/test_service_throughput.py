@@ -7,6 +7,12 @@ Asserts correctness (every client sees the single-session ranked
 answer) and records requests/sec plus shared preprocess-cache hit/miss
 counts to ``BENCH_service.json`` at the repo root (uploaded as a CI
 artifact).
+
+A second benchmark sweeps a stepped load curve — one debug cycle per
+client at each step of ``REPRO_SERVICE_LOAD_STEPS`` concurrent clients
+(default ``8,64``; CI runs ``8,64,512``) — recording requests/sec at
+each step so a throughput regression at high fan-in shows up as a bent
+curve, not a single blended number.
 """
 
 from __future__ import annotations
@@ -27,8 +33,31 @@ N_CLIENTS = 8
 N_CYCLES = 3 * SCALE
 #: Wire requests issued per debug cycle (excluding the one-time open).
 REQUESTS_PER_CYCLE = 8
+#: The stepped load curve: concurrent-client counts, lightest first.
+LOAD_STEPS = tuple(
+    int(step)
+    for step in os.environ.get("REPRO_SERVICE_LOAD_STEPS", "8,64").split(",")
+    if step.strip()
+)
+#: Client-side thread cap per step (512 logical clients share 64 threads).
+MAX_CLIENT_THREADS = 64
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _merge_into_bench(section: str, payload) -> None:
+    """Update one section of ``BENCH_service.json``, keeping the others."""
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    if not isinstance(data, dict) or "benchmark" in data:
+        # A pre-curve flat record: supersede it with the sectioned form.
+        data = {}
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def run_cycle(client: ServiceClient) -> str:
@@ -96,7 +125,7 @@ class TestServiceThroughput:
             "preprocess_cache": cache_stats,
             "top_predicate": expected,
         }
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        _merge_into_bench("closed_loop", record)
         print(
             f"\nservice throughput: {record['requests_per_second']:.0f} req/s, "
             f"{record['debug_cycles_per_second']:.1f} debug cycles/s, "
@@ -104,6 +133,68 @@ class TestServiceThroughput:
             f"({cache_stats['hits']} hits / {cache_stats['misses']} misses) "
             f"-> {BENCH_PATH.name}"
         )
+
+
+class TestSteppedLoadCurve:
+    def test_stepped_load_curve(self, fec_workload):
+        db, __, __ = fec_workload
+        catalog = DatasetCatalog()
+        catalog.register("fec", db, bootstrap=_bootstrap())
+        manager = SessionManager(
+            catalog=catalog, max_sessions=max(LOAD_STEPS) + 8
+        )
+        curve = []
+        with DBWipesServer(manager, port=0) as server:
+            host, port = server.address
+
+            # Warm the shared preprocess cache once so every step
+            # measures steady-state serving, not the first preprocess.
+            with ServiceClient(host, port, session="warm", timeout=600) as c:
+                c.open("fec")
+                expected = run_cycle(c)
+
+            for step in LOAD_STEPS:
+                def one_client(index: int) -> str:
+                    with ServiceClient(
+                        host, port, session=f"load-{step}-{index}", timeout=600
+                    ) as client:
+                        client.open("fec")
+                        return run_cycle(client)
+
+                start = time.perf_counter()
+                with ThreadPoolExecutor(
+                    max_workers=min(step, MAX_CLIENT_THREADS)
+                ) as pool:
+                    answers = list(pool.map(one_client, range(step)))
+                elapsed = time.perf_counter() - start
+
+                assert answers == [expected] * step
+                n_requests = step * (1 + REQUESTS_PER_CYCLE)
+                curve.append(
+                    {
+                        "clients": step,
+                        "n_requests": n_requests,
+                        "elapsed_seconds": elapsed,
+                        "requests_per_second": n_requests / elapsed,
+                        "debug_cycles_per_second": step / elapsed,
+                    }
+                )
+
+        _merge_into_bench(
+            "load_curve",
+            {
+                "benchmark": "service_stepped_load",
+                "steps": list(LOAD_STEPS),
+                "max_client_threads": MAX_CLIENT_THREADS,
+                "preprocess_cache": manager.preprocess_cache.stats(),
+                "curve": curve,
+            },
+        )
+        summary = ", ".join(
+            f"{point['clients']}cl={point['requests_per_second']:.0f}req/s"
+            for point in curve
+        )
+        print(f"\nservice load curve: {summary} -> {BENCH_PATH.name}")
 
 
 def _bootstrap() -> str:

@@ -434,7 +434,16 @@ def _flag_value(argv: list[str], name: str, default: str) -> str:
 
 
 def serve_main(argv: list[str]) -> int:
-    """``python -m repro serve`` — boot the multi-session service."""
+    """``python -m repro serve`` — boot the multi-session service.
+
+    ``--workers N`` (N >= 1) serves from N worker processes behind the
+    consistent-hash router instead of one in-process session manager;
+    ``--backend`` / ``--partitions`` pick the execution backend every
+    session's pipeline uses (``partitioned`` splits the influence pass
+    into ``--partitions`` row blocks — byte-identical results).
+    """
+    from .core.backend import BACKENDS
+    from .core.pipeline import PipelineConfig
     from .service import DBWipesServer, SessionManager
 
     try:
@@ -442,18 +451,41 @@ def serve_main(argv: list[str]) -> int:
         port = int(_flag_value(argv, "--port", "8642"))
         max_sessions = int(_flag_value(argv, "--max-sessions", "64"))
         ttl = _flag_value(argv, "--ttl", "")
-        manager = SessionManager(
-            max_sessions=max_sessions,
-            ttl_seconds=float(ttl) if ttl else None,
-        )
-        server = DBWipesServer(manager, host=host, port=port)
+        workers = int(_flag_value(argv, "--workers", "0"))
+        backend = _flag_value(argv, "--backend", "in_process")
+        partitions = int(_flag_value(argv, "--partitions", "1"))
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown --backend {backend!r} (known: {list(BACKENDS)})"
+            )
+        config = PipelineConfig(backend=backend, n_partitions=partitions)
+        ttl_seconds = float(ttl) if ttl else None
+        if workers > 0:
+            server = DBWipesServer(
+                host=host,
+                port=port,
+                workers=workers,
+                config=config,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+            )
+            datasets = "per-worker demo catalogs"
+        else:
+            manager = SessionManager(
+                config=config,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+            )
+            server = DBWipesServer(manager, host=host, port=port)
+            datasets = f"datasets: {', '.join(manager.catalog.names)}"
     except (ReproError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     bound_host, bound_port = server.address
+    tier = f"{workers} workers" if workers > 0 else "in-process"
     print(
         f"dbwipes service listening on {bound_host}:{bound_port} "
-        f"(datasets: {', '.join(manager.catalog.names)})",
+        f"({tier}, backend={backend}, {datasets})",
         flush=True,
     )
     try:

@@ -1,0 +1,211 @@
+"""Execution backends: how one ``debug()`` request is physically run.
+
+The pipeline's five stages (Preprocessor → Dataset Enumerator →
+Predicate Enumerator → Ranker → optional Merger) are *what* to compute;
+a backend decides *how*:
+
+* :class:`InProcessBackend` — the original single-pass engine: every
+  stage runs over the whole table in one process.
+* :class:`PartitionedBackend` — the scatter-gather engine: the segment
+  array is split into contiguous, group-aligned row blocks
+  (:func:`~repro.core.influence.partition_segments`), the influence and
+  Δε kernels — and on the per-rule path the predicate masks themselves —
+  run per block, and a combine step concatenates the per-group partials
+  before one global metric application. Because every grouped kernel is
+  a per-group-local fold and partitions never split a group, the
+  combined results are **byte-identical** to the in-process engine's:
+  the established parity contract extends to every partition count.
+
+``RankedProvenance`` is a thin facade over a backend; the service tier
+reads :meth:`ExecutionBackend.stats` into ``snapshot()`` so clients can
+see the physical fan-out behind their answers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..db.result import ResultSet
+from ..errors import PipelineError
+from .enumerator import DatasetEnumerator
+from .error_metrics import ErrorMetric
+from .influence import (
+    DeltaEpsilonScorer,
+    PartitionedDeltaEpsilonScorer,
+    partition_segments,
+)
+from .predicates import PredicateEnumerator
+from .preprocessor import PreprocessCache, Preprocessor, PreprocessResult
+from .ranker import PredicateRanker
+from .report import DebugReport
+
+#: Recognized ``PipelineConfig.backend`` values.
+BACKENDS = ("in_process", "partitioned")
+
+
+def make_backend(config, preprocess_cache: PreprocessCache | None = None):
+    """Build the execution backend selected by ``config.backend``."""
+    name = getattr(config, "backend", "in_process")
+    if name == "in_process":
+        return InProcessBackend(config, preprocess_cache=preprocess_cache)
+    if name == "partitioned":
+        return PartitionedBackend(config, preprocess_cache=preprocess_cache)
+    raise PipelineError(f"backend must be one of {BACKENDS}, got {name!r}")
+
+
+class InProcessBackend:
+    """The single-process engine: one pass over the whole table.
+
+    Also the base class of :class:`PartitionedBackend` — the stage
+    wiring and the ``debug()`` loop are identical; subclasses override
+    the scorer injection and the influence partition count.
+    """
+
+    name = "in_process"
+
+    def __init__(self, config, preprocess_cache: PreprocessCache | None = None):
+        self.config = config
+        self._scatter: dict = {}
+        self._debug_count = 0
+        self._preprocessor = Preprocessor(
+            fast_influence=config.fast_influence,
+            cache=preprocess_cache,
+            partitions=self.influence_partitions(),
+        )
+        self._enumerator = DatasetEnumerator(
+            clean_strategy=config.clean_strategy,
+            extend=config.extend_with_subgroups,
+            influence_quantile=config.influence_quantile,
+            subgroup=config.subgroup,
+            feature_columns=config.feature_columns,
+            max_candidates=config.max_candidates,
+            seed=config.seed,
+        )
+        self._predicates = PredicateEnumerator(
+            strategies=config.strategies,
+            feature_columns=config.feature_columns,
+            min_precision=config.min_precision,
+            weight_by_influence=config.weight_by_influence,
+            tree_algorithm=config.tree_algorithm,
+            seed=config.seed,
+        )
+        self._ranker = PredicateRanker(
+            weights=config.ranker_weights,
+            max_terms=config.max_terms,
+            algorithm=config.score_algorithm,
+            scorer=self._make_scorer(),
+        )
+        self._merger = None
+        if config.merge_predicates:
+            from .merger import PredicateMerger
+
+            self._merger = PredicateMerger(
+                weights=config.ranker_weights,
+                max_terms=config.max_terms,
+                algorithm=config.score_algorithm,
+                scorer=self._make_scorer(),
+            )
+
+    # -- backend-specific hooks ----------------------------------------
+
+    def influence_partitions(self) -> int:
+        """How many blocks the Preprocessor's influence stage scatters over."""
+        return 1
+
+    def _make_scorer(self) -> DeltaEpsilonScorer:
+        return DeltaEpsilonScorer()
+
+    def _note_preprocess(self, pre: PreprocessResult) -> None:
+        """Record backend-specific fan-out after the preprocess stage."""
+
+    # -- shared machinery ----------------------------------------------
+
+    @property
+    def preprocess_cache(self) -> PreprocessCache | None:
+        """The shared preprocess cache, when one is attached."""
+        return self._preprocessor.cache
+
+    def stats(self) -> dict:
+        """Physical-execution counters for ``snapshot()`` / observability."""
+        return {
+            "backend": self.name,
+            "n_partitions": self.influence_partitions(),
+            "debug_count": self._debug_count,
+            "scatter": dict(self._scatter),
+        }
+
+    def debug(
+        self,
+        result: ResultSet,
+        selected_rows: Sequence[int] | np.ndarray,
+        metric: ErrorMetric,
+        dprime_tids: Sequence[int] | np.ndarray = (),
+        agg_name: str | None = None,
+    ) -> DebugReport:
+        """Run the full pipeline and return the ranked predicate report."""
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        pre = self._preprocessor.run(result, selected_rows, metric, agg_name=agg_name)
+        timings["preprocess"] = time.perf_counter() - start
+        self._note_preprocess(pre)
+
+        start = time.perf_counter()
+        candidates = self._enumerator.run(pre, dprime_tids)
+        timings["enumerate_datasets"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidate_rules = self._predicates.run(pre, candidates)
+        timings["enumerate_predicates"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ranked = self._ranker.run(pre, candidates, candidate_rules)
+        timings["rank"] = time.perf_counter() - start
+
+        if self._merger is not None:
+            start = time.perf_counter()
+            ranked = self._merger.run(pre, candidates, ranked)
+            timings["merge"] = time.perf_counter() - start
+
+        self._debug_count += 1
+        return DebugReport(
+            predicates=tuple(ranked),
+            epsilon=pre.epsilon,
+            metric_description=metric.describe(),
+            selected_rows=pre.selected_rows,
+            n_inputs=len(pre.F),
+            n_dprime=len(np.asarray(list(dprime_tids), dtype=np.int64)),
+            n_candidates=len(candidates),
+            timings=timings,
+        )
+
+
+class PartitionedBackend(InProcessBackend):
+    """The scatter-gather engine over contiguous group-aligned blocks.
+
+    ``config.n_partitions`` sets the fan-out; every stage that touches
+    flat tuple volume (influence, Δε previews, per-rule masks) scatters
+    over the blocks and combines exactly. The scorer and this backend
+    share one scatter-counter dict, surfaced via :meth:`stats`.
+    """
+
+    name = "partitioned"
+
+    def __init__(self, config, preprocess_cache: PreprocessCache | None = None):
+        self.n_partitions = max(1, int(getattr(config, "n_partitions", 1)))
+        super().__init__(config, preprocess_cache=preprocess_cache)
+
+    def influence_partitions(self) -> int:
+        return self.n_partitions
+
+    def _make_scorer(self) -> DeltaEpsilonScorer:
+        return PartitionedDeltaEpsilonScorer(self.n_partitions, stats=self._scatter)
+
+    def _note_preprocess(self, pre: PreprocessResult) -> None:
+        plan = partition_segments(pre.segments, self.n_partitions)
+        self._scatter["influence_blocks"] = (
+            self._scatter.get("influence_blocks", 0) + plan.n_blocks
+        )

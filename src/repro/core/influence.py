@@ -38,7 +38,12 @@ from functools import cached_property
 import numpy as np
 
 from ..db.aggregates import Aggregate
-from ..db.segments import SegmentedValues, SegmentPairs, as_segments
+from ..db.segments import (
+    SegmentedValues,
+    SegmentPairs,
+    as_segments,
+    partition_offsets,
+)
 from ..errors import PipelineError
 
 
@@ -107,6 +112,58 @@ class InfluenceResult:
         return np.where(found, sorted_scores[pos], 0.0)
 
 
+@dataclass(frozen=True)
+class SegmentPartitions:
+    """A group-aligned partition plan over one :class:`SegmentedValues`.
+
+    ``bounds`` are segment-index cut points (see
+    :func:`~repro.db.segments.partition_offsets`); ``blocks`` are the
+    matching contiguous sub-:class:`SegmentedValues` views. A block
+    never splits a segment, so every per-segment statistic computed on a
+    block is bit-identical to the same statistic computed globally —
+    the combine step of the partitioned backend is therefore pure
+    concatenation in segment order, followed by one global metric
+    application.
+    """
+
+    seg: SegmentedValues
+    bounds: np.ndarray
+    blocks: tuple[SegmentedValues, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of contiguous partition blocks."""
+        return len(self.blocks)
+
+    def flat_bounds(self, block: int) -> tuple[int, int]:
+        """The flat-position range ``[lo, hi)`` covered by ``block``."""
+        return (
+            int(self.seg.offsets[self.bounds[block]]),
+            int(self.seg.offsets[self.bounds[block + 1]]),
+        )
+
+
+def partition_segments(seg: SegmentedValues, n_partitions: int) -> SegmentPartitions:
+    """The (memoized) group-aligned partition plan for ``seg``.
+
+    Plans ride on ``seg.memo`` keyed by the partition count, so the
+    Preprocessor, Ranker, and Merger of one debugging request — and
+    every later debug of a cached selection — share one plan and one
+    set of block views (with their own per-block kernel memos).
+    """
+    key = ("partition_plan", int(n_partitions))
+    plan = seg.memo.get(key)
+    if plan is None:
+        bounds = partition_offsets(seg.offsets, n_partitions)
+        blocks = tuple(
+            seg.slice_segments(int(bounds[b]), int(bounds[b + 1]))
+            for b in range(len(bounds) - 1)
+        )
+        plan = SegmentPartitions(seg=seg, bounds=bounds, blocks=blocks)
+        seg.memo[key] = plan
+    return plan
+
+
 def leave_one_out_influence(
     group_values: list[np.ndarray],
     group_tids: list[np.ndarray],
@@ -114,6 +171,7 @@ def leave_one_out_influence(
     aggregate: Aggregate,
     metric,
     fast: bool = True,
+    n_partitions: int = 1,
 ) -> InfluenceResult:
     """Compute influence for every tuple of the selected groups.
 
@@ -131,11 +189,26 @@ def leave_one_out_influence(
         The user's :class:`~repro.core.error_metrics.ErrorMetric`.
     fast:
         Use closed-form leave-one-out (True) or naive recomputation.
+    n_partitions:
+        Scatter the grouped passes over this many group-aligned blocks
+        (the partitioned backend's influence stage). Per-group results
+        concatenate in group order, so any count is bit-identical to 1.
     """
     if len(group_values) != len(group_tids) or len(group_values) != len(rows):
         raise PipelineError("group_values, group_tids, and rows must align")
     seg = as_segments(group_values)
-    if fast:
+    if fast and n_partitions > 1:
+        # Scatter: each block holds whole groups, and the grouped
+        # kernels are per-group-local folds, so per-block current and
+        # leave-one-out values concatenate into exactly the global ones.
+        plan = partition_segments(seg, n_partitions)
+        current = np.concatenate(
+            [aggregate.compute_grouped(block) for block in plan.blocks]
+        )
+        loo_flat = np.concatenate(
+            [aggregate.leave_one_out_grouped(block) for block in plan.blocks]
+        )
+    elif fast:
         # One grouped pass over every selected group at once: current
         # values, leave-one-out values, and per-value errors are all
         # flat vectorized computations with no Python per-group loop.
@@ -211,15 +284,29 @@ def subset_epsilon_grouped(
     remove_mask: np.ndarray,
     aggregate: Aggregate,
     metric,
+    n_partitions: int = 1,
 ) -> float:
     """:func:`subset_epsilon` over an already-segmented selection.
 
     The Ranker and Merger call this once per candidate predicate with a
     single flat mask over the segment table, so the whole Δε preview is
     one grouped :meth:`~repro.db.aggregates.Aggregate.compute_without_grouped`
-    pass.
+    pass. With ``n_partitions > 1`` the pass scatters over group-aligned
+    blocks (flat-sliced masks) and the per-group values concatenate
+    before the single global metric application — bit-identical.
     """
-    new_values = aggregate.compute_without_grouped(seg, remove_mask)
+    if n_partitions > 1:
+        plan = partition_segments(seg, n_partitions)
+        new_values = np.concatenate(
+            [
+                aggregate.compute_without_grouped(
+                    block, remove_mask[slice(*plan.flat_bounds(b))]
+                )
+                for b, block in enumerate(plan.blocks)
+            ]
+        )
+    else:
+        new_values = aggregate.compute_without_grouped(seg, remove_mask)
     return metric(new_values)
 
 
@@ -249,19 +336,43 @@ def subset_epsilon_grouped_batch(
     lets the batched Ranker stay byte-identical to the per-rule
     reference.
     """
+    new_values = _new_values_grouped_batch(seg, remove_masks, aggregate, max_elements)
+    return _metric_rows(new_values, metric)
+
+
+def _metric_rows(new_values: np.ndarray, metric) -> np.ndarray:
+    """The metric applied to each row of an after-removal value matrix."""
+    out = np.empty(new_values.shape[0], dtype=np.float64)
+    for row in range(new_values.shape[0]):
+        out[row] = metric(new_values[row])
+    return out
+
+
+def _new_values_grouped_batch(
+    seg: SegmentedValues,
+    remove_masks: np.ndarray,
+    aggregate: Aggregate,
+    max_elements: int = BATCH_MAX_ELEMENTS,
+) -> np.ndarray:
+    """The dense ``(R, n_segments)`` after-removal value matrix.
+
+    Row-chunked by ``max_elements`` so the 2-D kernel temporaries stay
+    bounded; the chunking cannot perturb values because each chunk is an
+    independent set of mask rows.
+    """
     remove_masks = np.asarray(remove_masks, dtype=bool)
     if remove_masks.ndim != 2 or remove_masks.shape[1] != len(seg.values):
         raise PipelineError("remove mask matrix shape does not match segments")
     n_rows = remove_masks.shape[0]
-    out = np.empty(n_rows, dtype=np.float64)
+    out = np.empty((n_rows, seg.n_segments), dtype=np.float64)
     if n_rows == 0:
         return out
     chunk = max(1, max_elements // max(len(seg.values), 1))
     for start in range(0, n_rows, chunk):
         block = remove_masks[start: start + chunk]
-        new_values = aggregate.compute_without_grouped_batch(seg, block)
-        for offset in range(block.shape[0]):
-            out[start + offset] = metric(new_values[offset])
+        out[start: start + block.shape[0]] = (
+            aggregate.compute_without_grouped_batch(seg, block)
+        )
     return out
 
 
@@ -277,6 +388,8 @@ def subset_epsilon_for_mask_set(
     aggregate: Aggregate,
     metric,
     positions: np.ndarray | None = None,
+    n_partitions: int = 1,
+    scatter_stats: dict | None = None,
 ) -> np.ndarray:
     """Batched Δε over a :class:`~repro.core.maskset.MaskSet`.
 
@@ -293,6 +406,11 @@ def subset_epsilon_for_mask_set(
       aggregate-after-removal is, fold-for-fold, the no-removal value —
       so only the touched (rule, group) pairs are re-aggregated, over a
       compacted copy of exactly those groups.
+
+    With ``n_partitions > 1`` the unique masks score through
+    :func:`_epsilons_partitioned` instead — and because the partitioned
+    values are bit-identical to the global ones, the ε memo is safely
+    shared across partition counts and backends.
     """
     digests = mask_set.digests()
     # ε per distinct mask is memoized on the segments: a repeated debug
@@ -322,7 +440,12 @@ def subset_epsilon_for_mask_set(
         bools = mask_set.bools(np.asarray(unique_rows, dtype=np.int64))
         if positions is not None:
             bools = bools[:, positions]
-        unique = _epsilons_group_sparse(seg, bools, aggregate, metric)
+        if n_partitions > 1:
+            unique = _epsilons_partitioned(
+                seg, bools, aggregate, metric, n_partitions, scatter_stats
+            )
+        else:
+            unique = _epsilons_group_sparse(seg, bools, aggregate, metric)
         for digest, index in first_row.items():
             cache[digest] = float(unique[index])
     return np.fromiter(
@@ -350,19 +473,34 @@ def _epsilons_group_sparse(
     bit-identical to the dense ones. Falls back to the dense batch
     kernels when the touched volume approaches the dense volume.
     """
+    new_values = _new_values_group_sparse(seg, remove_masks, aggregate)
+    return _metric_rows(new_values, metric)
+
+
+def _new_values_group_sparse(
+    seg: SegmentedValues,
+    remove_masks: np.ndarray,
+    aggregate: Aggregate,
+) -> np.ndarray:
+    """The ``(R, n_segments)`` after-removal matrix, touched pairs only.
+
+    Value producer behind :func:`_epsilons_group_sparse`, factored out
+    so the partitioned scatter can run it per block and concatenate the
+    per-group columns (both the sparse and its dense-fallback values are
+    bit-identical, so a block may take either branch independently).
+    """
     from ..db.segments import _count_reduceat_batch
 
     n_rows = remove_masks.shape[0]
     n_flat = len(seg.values)
     if n_rows == 0:
-        return np.empty(0, dtype=np.float64)
+        return np.empty((0, seg.n_segments), dtype=np.float64)
     removed_counts = _count_reduceat_batch(remove_masks, seg.offsets)
     row_idx, group_idx = np.nonzero(removed_counts > 0)
     lengths = seg.lengths[group_idx]
     touched_volume = int(lengths.sum())
     if touched_volume >= SPARSE_DENSITY_CUTOFF * n_rows * n_flat:
-        return subset_epsilon_grouped_batch(seg, remove_masks, aggregate, metric)
-    out = np.empty(n_rows, dtype=np.float64)
+        return _new_values_grouped_batch(seg, remove_masks, aggregate)
 
     # The no-removal baseline, through the same masked kernel so the
     # accumulation of untouched groups matches the dense path; memoized
@@ -392,8 +530,116 @@ def _epsilons_group_sparse(
         new_values[row_idx, group_idx] = aggregate.compute_without_pairs(
             pairs, mini_masks
         )
-    for row in range(n_rows):
-        out[row] = metric(new_values[row])
-    return out
+    return new_values
+
+
+def _epsilons_partitioned(
+    seg: SegmentedValues,
+    remove_masks: np.ndarray,
+    aggregate: Aggregate,
+    metric,
+    n_partitions: int,
+    stats: dict | None = None,
+) -> np.ndarray:
+    """ε per mask row via the partitioned scatter-gather.
+
+    Scatter: each group-aligned block computes its own after-removal
+    value sub-matrix over the flat-sliced mask columns — exactly the
+    sparse-with-dense-fallback kernels the single-process path runs on
+    the whole array. Gather: the blocks' per-group columns concatenate
+    in group order (bit-identical, since every grouped kernel is a
+    per-group-local fold) and the metric collapses each full row once.
+    Byte-identity therefore holds even when a block's sparse/dense
+    cutover decision differs from the global one. ``stats`` accumulates
+    the scatter fan-out counters the backend surfaces in ``snapshot()``.
+    """
+    plan = partition_segments(seg, n_partitions)
+    new_values = np.hstack(
+        [
+            _new_values_group_sparse(
+                block, remove_masks[:, slice(*plan.flat_bounds(b))], aggregate
+            )
+            for b, block in enumerate(plan.blocks)
+        ]
+    )
+    if stats is not None:
+        stats["delta_blocks"] = stats.get("delta_blocks", 0) + plan.n_blocks
+        stats["delta_mask_rows"] = (
+            stats.get("delta_mask_rows", 0) + int(remove_masks.shape[0])
+        )
+    return _metric_rows(new_values, metric)
+
+
+class DeltaEpsilonScorer:
+    """Default Δε scorer: single-pass global kernels.
+
+    The Ranker and Merger call one of two hooks depending on their
+    ``algorithm``: :meth:`epsilons_for_mask_set` on the batched path,
+    :meth:`epsilon_for_predicate` on the per-rule reference path. The
+    execution backend injects the scorer, so the partitioned engine can
+    swap in scatter-gather evaluation without the Ranker or Merger
+    knowing which backend is running.
+    """
+
+    def epsilons_for_mask_set(self, pre, mask_set) -> np.ndarray:
+        """Δε previews for every row of a packed mask set."""
+        return subset_epsilon_for_mask_set(
+            pre.segments,
+            mask_set,
+            pre.aggregate,
+            pre.metric,
+            positions=pre.segment_positions,
+        )
+
+    def epsilon_for_predicate(self, pre, predicate) -> float:
+        """ε after removing one predicate's tuples (mask included)."""
+        remove_mask = predicate.mask(pre.segment_table)
+        return subset_epsilon_grouped(
+            pre.segments, remove_mask, pre.aggregate, pre.metric
+        )
+
+
+class PartitionedDeltaEpsilonScorer(DeltaEpsilonScorer):
+    """Scatter-gather Δε scorer for the partitioned backend.
+
+    Batched previews scatter over group-aligned blocks via
+    :func:`_epsilons_partitioned`; the per-rule path goes further and
+    evaluates each predicate's *mask* per block too, over the sliced
+    :class:`~repro.learn.split_index.SplitIndex` views that
+    :meth:`~repro.core.preprocessor.PreprocessResult.partition_blocks`
+    builds — the whole rule pipeline (mask, masked aggregate, metric)
+    runs block-local with one global combine. ``stats`` is shared with
+    the owning backend and surfaces in ``snapshot()``.
+    """
+
+    def __init__(self, n_partitions: int, stats: dict | None = None):
+        self.n_partitions = max(1, int(n_partitions))
+        self.stats = stats if stats is not None else {}
+
+    def epsilons_for_mask_set(self, pre, mask_set) -> np.ndarray:
+        return subset_epsilon_for_mask_set(
+            pre.segments,
+            mask_set,
+            pre.aggregate,
+            pre.metric,
+            positions=pre.segment_positions,
+            n_partitions=self.n_partitions,
+            scatter_stats=self.stats,
+        )
+
+    def epsilon_for_predicate(self, pre, predicate) -> float:
+        plan = partition_segments(pre.segments, self.n_partitions)
+        parts = []
+        for block_table, engine, block_seg in pre.partition_blocks(
+            self.n_partitions
+        ):
+            remove_block = engine.predicate_mask(block_table, predicate)
+            parts.append(
+                pre.aggregate.compute_without_grouped(block_seg, remove_block)
+            )
+        self.stats["rule_blocks"] = (
+            self.stats.get("rule_blocks", 0) + plan.n_blocks
+        )
+        return pre.metric(np.concatenate(parts))
 
 

@@ -7,12 +7,14 @@
                        ──> ranked predicates
 
 Each stage's wall-clock time is recorded in the report for the scaling
-benchmarks.
+benchmarks. The physical execution strategy lives behind
+:mod:`~repro.core.backend` (``PipelineConfig.backend`` selects it);
+``RankedProvenance`` is the stable facade the frontend and service tiers
+program against.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -20,11 +22,11 @@ import numpy as np
 
 from ..db.result import ResultSet
 from ..learn.subgroup import SubgroupDiscovery
-from .enumerator import DatasetEnumerator
+from .backend import make_backend
 from .error_metrics import ErrorMetric
-from .predicates import DEFAULT_STRATEGIES, PredicateEnumerator, TreeStrategy
-from .preprocessor import PreprocessCache, Preprocessor
-from .ranker import PredicateRanker, RankerWeights
+from .predicates import DEFAULT_STRATEGIES, TreeStrategy
+from .preprocessor import PreprocessCache
+from .ranker import RankerWeights
 from .report import DebugReport
 
 
@@ -66,6 +68,13 @@ class PipelineConfig:
     subgroup: SubgroupDiscovery | None = None
     #: Random seed shared by all stochastic stages.
     seed: int = 0
+    #: Execution backend: "in_process" (one pass over the whole table)
+    #: or "partitioned" (scatter-gather over group-aligned row blocks;
+    #: byte-identical output per the parity contract).
+    backend: str = "in_process"
+    #: Scatter fan-out of the partitioned backend (ignored by
+    #: "in_process"; 1 degenerates to a single block).
+    n_partitions: int = 1
 
 
 class RankedProvenance:
@@ -84,46 +93,14 @@ class RankedProvenance:
         preprocess_cache: "PreprocessCache | None" = None,
     ):
         self.config = config or PipelineConfig()
-        config_ = self.config
-        self._preprocessor = Preprocessor(
-            fast_influence=config_.fast_influence, cache=preprocess_cache
-        )
-        self._enumerator = DatasetEnumerator(
-            clean_strategy=config_.clean_strategy,
-            extend=config_.extend_with_subgroups,
-            influence_quantile=config_.influence_quantile,
-            subgroup=config_.subgroup,
-            feature_columns=config_.feature_columns,
-            max_candidates=config_.max_candidates,
-            seed=config_.seed,
-        )
-        self._predicates = PredicateEnumerator(
-            strategies=config_.strategies,
-            feature_columns=config_.feature_columns,
-            min_precision=config_.min_precision,
-            weight_by_influence=config_.weight_by_influence,
-            tree_algorithm=config_.tree_algorithm,
-            seed=config_.seed,
-        )
-        self._ranker = PredicateRanker(
-            weights=config_.ranker_weights,
-            max_terms=config_.max_terms,
-            algorithm=config_.score_algorithm,
-        )
-        self._merger = None
-        if config_.merge_predicates:
-            from .merger import PredicateMerger
-
-            self._merger = PredicateMerger(
-                weights=config_.ranker_weights,
-                max_terms=config_.max_terms,
-                algorithm=config_.score_algorithm,
-            )
+        #: The execution backend running the five stages (see
+        #: :mod:`~repro.core.backend`). ``config.backend`` selects it.
+        self.backend = make_backend(self.config, preprocess_cache=preprocess_cache)
 
     @property
     def preprocess_cache(self) -> PreprocessCache | None:
         """The shared preprocess cache, when one is attached."""
-        return self._preprocessor.cache
+        return self.backend.preprocess_cache
 
     def debug(
         self,
@@ -139,36 +116,10 @@ class RankedProvenance:
         the suspicious output rows S, the error metric ε, the optional
         suspicious input examples D', and which aggregate column to debug.
         """
-        timings: dict[str, float] = {}
-
-        start = time.perf_counter()
-        pre = self._preprocessor.run(result, selected_rows, metric, agg_name=agg_name)
-        timings["preprocess"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        candidates = self._enumerator.run(pre, dprime_tids)
-        timings["enumerate_datasets"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        candidate_rules = self._predicates.run(pre, candidates)
-        timings["enumerate_predicates"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        ranked = self._ranker.run(pre, candidates, candidate_rules)
-        timings["rank"] = time.perf_counter() - start
-
-        if self._merger is not None:
-            start = time.perf_counter()
-            ranked = self._merger.run(pre, candidates, ranked)
-            timings["merge"] = time.perf_counter() - start
-
-        return DebugReport(
-            predicates=tuple(ranked),
-            epsilon=pre.epsilon,
-            metric_description=metric.describe(),
-            selected_rows=pre.selected_rows,
-            n_inputs=len(pre.F),
-            n_dprime=len(np.asarray(list(dprime_tids), dtype=np.int64)),
-            n_candidates=len(candidates),
-            timings=timings,
+        return self.backend.debug(
+            result,
+            selected_rows,
+            metric,
+            dprime_tids=dprime_tids,
+            agg_name=agg_name,
         )

@@ -40,7 +40,7 @@ import numpy as np
 from ..errors import PipelineError
 from ..learn.metrics import confusion
 from .enumerator import CandidateSet
-from .influence import subset_epsilon_for_mask_set, subset_epsilon_grouped
+from .influence import DeltaEpsilonScorer
 from .predicates import CandidateRule
 from .preprocessor import PreprocessResult
 from .report import RankedPredicate
@@ -97,6 +97,7 @@ class PredicateRanker:
         max_terms: int = 8,
         drop_nonpositive_error: bool = True,
         algorithm: str = "batch",
+        scorer: DeltaEpsilonScorer | None = None,
     ):
         if algorithm not in SCORE_ALGORITHMS:
             raise PipelineError(
@@ -106,6 +107,10 @@ class PredicateRanker:
         self.max_terms = max_terms
         self.drop_nonpositive_error = drop_nonpositive_error
         self.algorithm = algorithm
+        #: Δε evaluation strategy, injected by the execution backend (the
+        #: partitioned backend swaps in scatter-gather scoring; any
+        #: scorer is byte-identical to the default by construction).
+        self.scorer = scorer if scorer is not None else DeltaEpsilonScorer()
 
     def run(
         self,
@@ -145,12 +150,8 @@ class PredicateRanker:
         # segment table is F re-ordered, so the remove-masks are gathers
         # of the F masks (no second evaluation); distinct masks are
         # scored once and broadcast by digest.
-        epsilons_after = subset_epsilon_for_mask_set(
-            pre.segments,
-            f_masks.subset(kept),
-            pre.aggregate,
-            pre.metric,
-            positions=pre.segment_positions,
+        epsilons_after = self.scorer.epsilons_for_mask_set(
+            pre, f_masks.subset(kept)
         )
 
         # Confusion batch: per candidate, all true-positive counts are
@@ -250,8 +251,6 @@ class PredicateRanker:
         """The original one-rule-at-a-time scorer (parity reference)."""
         epsilon = pre.epsilon
         ranked: list[RankedPredicate] = []
-        segments = pre.segments
-        segment_table = pre.segment_table
         for candidate_rule in candidate_rules:
             candidate = candidates[candidate_rule.candidate_index]
             rule = candidate_rule.rule
@@ -259,11 +258,11 @@ class PredicateRanker:
             n_matched = int(mask_f.sum())
             if n_matched == 0:
                 continue
-            # Δε via grouped removable aggregates: one mask evaluation
-            # over the segment table, one grouped compute_without pass.
-            remove_mask = rule.predicate.mask(segment_table)
-            epsilon_after = subset_epsilon_grouped(
-                segments, remove_mask, pre.aggregate, pre.metric
+            # Δε via grouped removable aggregates: mask evaluation over
+            # the segment table plus the grouped compute_without pass,
+            # both behind the scorer (block-local under partitioning).
+            epsilon_after = self.scorer.epsilon_for_predicate(
+                pre, rule.predicate
             )
             relative_reduction = (
                 (epsilon - epsilon_after) / epsilon if epsilon > 0 else 0.0

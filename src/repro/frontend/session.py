@@ -124,6 +124,7 @@ class DBWipesSession:
                 "last": dict(self._stage_timings),
                 "total": dict(self._stage_totals),
             },
+            "backend": self.pipeline.backend.stats(),
         }
         return snapshot
 

@@ -11,24 +11,37 @@ tier for the reproduction:
 * :mod:`~repro.service.cache` — :class:`DatasetCatalog` and the shared
   :class:`~repro.core.preprocessor.PreprocessCache`, so N sessions over
   one dataset share one table and one preprocessing result;
+* :mod:`~repro.service.workers` — :class:`WorkerPool`: N worker
+  processes, each owning a catalog shard and its caches;
+* :mod:`~repro.service.router` — :class:`RoutingDispatcher` +
+  :class:`HashRing`: the scatter-gather front end that routes sessions
+  to workers by consistent hash of the dataset id;
 * :mod:`~repro.service.server` — :class:`DBWipesServer`, a
-  dependency-free threaded TCP server;
+  dependency-free threaded TCP server over either dispatcher;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
   client used by tests, benchmarks, and ``python -m repro connect``.
 """
 
 from .cache import DatasetCatalog, PreprocessCache
 from .client import ServiceClient
+from .handlers import LocalDispatcher
 from .protocol import PROTOCOL_VERSION
+from .router import HashRing, RoutingDispatcher
 from .server import DBWipesServer
 from .sessions import ManagedSession, SessionManager
+from .workers import WorkerHandle, WorkerPool
 
 __all__ = [
     "DBWipesServer",
     "DatasetCatalog",
+    "HashRing",
+    "LocalDispatcher",
     "ManagedSession",
     "PROTOCOL_VERSION",
     "PreprocessCache",
+    "RoutingDispatcher",
     "ServiceClient",
     "SessionManager",
+    "WorkerHandle",
+    "WorkerPool",
 ]

@@ -23,6 +23,24 @@ DEFAULT_MAX_ROWS = 200
 DEFAULT_MAX_POINTS = 2000
 
 
+class LocalDispatcher:
+    """The single-process front end: every command runs in this process.
+
+    Shares the ``handle(message) -> envelope`` shape with
+    :class:`~repro.service.router.RoutingDispatcher`, so the TCP server
+    is indifferent to whether a worker pool sits behind it.
+    """
+
+    def __init__(self, manager: SessionManager):
+        self.manager = manager
+
+    def handle(self, message: dict) -> dict:
+        return dispatch(self.manager, message)
+
+    def close(self) -> None:
+        """Nothing to shut down in-process."""
+
+
 def dispatch(manager: SessionManager, message: dict) -> dict:
     """Handle one decoded request message; always returns an envelope."""
     request_id = message.get("id")

@@ -22,6 +22,12 @@ class name, so clients can distinguish user mistakes
     {"id": 7, "ok": false, "error": {"kind": "SessionError",
                                      "message": "select ... first"}}
 
+The multi-process front end adds two kinds of its own: a request whose
+worker process died mid-flight gets ``WorkerCrashed`` (the worker is
+respawned; reopen the session and retry) and one whose worker stopped
+answering gets ``WorkerTimeout`` — a routed request always ends in an
+envelope, never a hung connection.
+
 Everything on the wire is JSON-safe: numpy scalars are unwrapped,
 arrays become lists, and NaN/±inf become ``null`` (the protocol is
 strict JSON — ``allow_nan`` is off in both directions).
@@ -137,6 +143,18 @@ def ok_response(request_id: Any, result: Any) -> dict:
 def error_response(request_id: Any, kind: str, message: str) -> dict:
     """An error envelope echoing the request id."""
     return {"id": request_id, "ok": False, "error": {"kind": kind, "message": message}}
+
+
+def annotate_worker(envelope: dict, worker: int) -> dict:
+    """Tag a success envelope's object result with the answering worker.
+
+    The routing front end stamps ``open`` responses this way so clients
+    can observe the consistent-hash placement without a ``stats`` call.
+    """
+    result = envelope.get("result")
+    if envelope.get("ok") and isinstance(result, dict):
+        result["worker"] = worker
+    return envelope
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,21 @@
 """The concurrent DBWipes server: JSON lines over TCP.
 
 A thread-per-connection :class:`socketserver.ThreadingTCPServer` whose
-handler reads newline-delimited JSON requests and writes one response
-line per request (see :mod:`repro.service.protocol`). All shared state
-lives in the :class:`~repro.service.sessions.SessionManager`; the server
-itself is just transport.
+handler reads newline-delimited JSON requests and hands each to a
+*dispatcher* (see :mod:`repro.service.protocol` for the wire format).
+Two dispatchers exist:
 
-Dependency-free by design: the standard library's ``socketserver`` plus
-the repo's own session/pipeline code — nothing to install, so the demo
-serves from any laptop (and the same wire protocol can later be fronted
-by an async or sharded transport without touching the handlers).
+* :class:`~repro.service.handlers.LocalDispatcher` (``workers=0``) —
+  the original single-process mode: one
+  :class:`~repro.service.sessions.SessionManager` in this process.
+* :class:`~repro.service.router.RoutingDispatcher` (``workers=N``) —
+  the partitioned serving tier: the front end routes session commands
+  to N worker processes by consistent hash of the dataset id, so each
+  worker's caches stay hot for its shard of the catalog.
+
+Dependency-free by design: the standard library's ``socketserver`` and
+``multiprocessing`` plus the repo's own session/pipeline code — nothing
+to install, so the demo serves from any laptop.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import socket
 import socketserver
 import threading
 
-from .handlers import dispatch
+from .handlers import LocalDispatcher
 from .protocol import MAX_LINE_BYTES, decode_line, encode, error_response
 from .sessions import SessionManager
 
@@ -80,27 +86,34 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             message = decode_line(line)
         except Exception as error:
             return error_response(None, type(error).__name__, str(error))
-        return dispatch(self.server.manager, message)
+        return self.server.dispatcher.handle(message)
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], manager: SessionManager):
+    def __init__(self, address: tuple[str, int], dispatcher):
         super().__init__(address, _RequestHandler)
-        self.manager = manager
+        self.dispatcher = dispatcher
 
 
 class DBWipesServer:
-    """The serving tier: many sessions, one process, one port.
+    """The serving tier: many sessions, one port — one process or many.
 
     >>> server = DBWipesServer(port=0)      # 0 = pick a free port
     >>> host, port = server.start()         # background thread
     >>> ...                                 # clients connect
     >>> server.stop()
 
-    ``serve_forever()`` is the blocking entry used by
+    ``workers=N`` (N >= 1) swaps the in-process
+    :class:`~repro.service.sessions.SessionManager` for a
+    :class:`~repro.service.workers.WorkerPool` behind a
+    :class:`~repro.service.router.RoutingDispatcher` — each worker owns
+    a catalog shard by consistent hash of the dataset id. In that mode
+    ``manager`` is ignored (``None``); ``catalog_factory``, ``config``,
+    ``max_sessions``, and ``ttl_seconds`` configure every worker's own
+    manager instead. ``serve_forever()`` is the blocking entry used by
     ``python -m repro serve``.
     """
 
@@ -109,9 +122,30 @@ class DBWipesServer:
         manager: SessionManager | None = None,
         host: str = "127.0.0.1",
         port: int = 8642,
+        workers: int = 0,
+        catalog_factory=None,
+        config=None,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
     ):
-        self.manager = manager if manager is not None else SessionManager()
-        self._server = _TCPServer((host, port), self.manager)
+        self.pool = None
+        if workers and int(workers) > 0:
+            from .router import RoutingDispatcher
+            from .workers import WorkerPool
+
+            self.manager = None
+            self.pool = WorkerPool(
+                int(workers),
+                catalog_factory=catalog_factory,
+                config=config,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+            )
+            self.dispatcher = RoutingDispatcher(self.pool)
+        else:
+            self.manager = manager if manager is not None else SessionManager()
+            self.dispatcher = LocalDispatcher(self.manager)
+        self._server = _TCPServer((host, port), self.dispatcher)
         self._thread: threading.Thread | None = None
 
     @property
@@ -136,12 +170,14 @@ class DBWipesServer:
         self._server.serve_forever()
 
     def stop(self) -> None:
-        """Stop accepting connections and release the socket."""
+        """Stop accepting connections, release the socket, stop workers."""
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.pool is not None:
+            self.pool.close()
 
     def __enter__(self) -> "DBWipesServer":
         self.start()

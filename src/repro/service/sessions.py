@@ -202,6 +202,12 @@ class SessionManager:
                 "ttl_evictions": self._ttl_evictions,
                 "datasets": list(self.catalog.names),
                 "preprocess_cache": self.preprocess_cache.stats(),
+                "backend": getattr(self.config, "backend", "in_process")
+                if self.config is not None
+                else "in_process",
+                "n_partitions": int(getattr(self.config, "n_partitions", 1))
+                if self.config is not None
+                else 1,
             }
 
     def __len__(self) -> int:

@@ -1,0 +1,342 @@
+"""The multiprocessing worker pool behind the routing front end.
+
+Each worker is a separate OS process owning its *own*
+:class:`~repro.service.sessions.SessionManager` over its own
+:class:`~repro.service.cache.DatasetCatalog`. The catalog builds
+datasets lazily, so a worker only ever materializes the datasets the
+router hashes onto it — that is the catalog shard, and with it the
+worker's ``PreprocessCache`` / ``SplitIndex`` / ``MaskSet`` memos stay
+local to exactly the sessions that hit them (cache affinity).
+
+Transport is one duplex :func:`multiprocessing.Pipe` per worker carrying
+``(request_token, message)`` tuples down and ``(request_token,
+envelope)`` tuples back. The parent side multiplexes: sends happen under
+a lock, a daemon reader thread completes pending calls as responses
+arrive, and many front-end connection threads can have calls in flight
+on one worker at once.
+
+A worker that dies — killed, OOMed, crashed — must never strand a
+client connection: the reader thread sees the pipe close, fails every
+pending call with a structured ``WorkerCrashed`` error envelope (the
+same ``kind`` convention every other service error uses), and respawns
+the process. Sessions that lived in the dead worker are gone; clients
+re-``open`` and the router re-routes them to the fresh process.
+
+The ``fork`` start method is preferred (prebuilt catalogs and closures
+cross to the child without pickling); ``spawn`` is the fallback where
+fork is unavailable, and there the ``catalog_factory`` / ``config``
+arguments must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Any, Callable
+
+from ..errors import ServiceError
+from .cache import DatasetCatalog
+from .protocol import error_response
+
+#: Default seconds a routed call waits before giving up with a
+#: ``WorkerTimeout`` envelope (None = wait forever).
+DEFAULT_CALL_TIMEOUT: float | None = 300.0
+
+
+def _worker_main(
+    conn,
+    index: int,
+    catalog_factory: Callable[[], DatasetCatalog] | None,
+    config,
+    max_sessions: int,
+    ttl_seconds: float | None,
+) -> None:
+    """Worker process entry: a (recv, dispatch, send) loop until EOF."""
+    from .handlers import dispatch
+    from .sessions import SessionManager
+
+    catalog = (
+        catalog_factory()
+        if catalog_factory is not None
+        else DatasetCatalog.with_demo_datasets()
+    )
+    manager = SessionManager(
+        catalog=catalog,
+        config=config,
+        max_sessions=max_sessions,
+        ttl_seconds=ttl_seconds,
+    )
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            break
+        if item is None:  # orderly shutdown sentinel
+            break
+        token, message = item
+        try:
+            envelope = dispatch(manager, message)
+        except BaseException as error:  # noqa: BLE001 — dispatch shields, belt and braces
+            envelope = error_response(
+                message.get("id") if isinstance(message, dict) else None,
+                "InternalError",
+                f"{type(error).__name__}: {error}",
+            )
+        try:
+            conn.send((token, envelope))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Pending:
+    """One in-flight call: the caller's event and the response slot."""
+
+    __slots__ = ("request_id", "event", "envelope")
+
+    def __init__(self, request_id: Any):
+        self.request_id = request_id
+        self.event = threading.Event()
+        self.envelope: dict | None = None
+
+
+class WorkerHandle:
+    """One worker process plus the parent-side request multiplexing."""
+
+    def __init__(
+        self,
+        index: int,
+        ctx,
+        catalog_factory: Callable[[], DatasetCatalog] | None = None,
+        config=None,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        call_timeout: float | None = DEFAULT_CALL_TIMEOUT,
+    ):
+        self.index = index
+        self._ctx = ctx
+        self._catalog_factory = catalog_factory
+        self._config = config
+        self._max_sessions = max_sessions
+        self._ttl_seconds = ttl_seconds
+        self.call_timeout = call_timeout
+        self.requests = 0
+        self.restarts = 0
+        #: Guards the connection, the pending map, and the generation
+        #: counter (sends are serialized; only the reader thread recvs).
+        self._lock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._next_token = 0
+        self._generation = 0
+        self._closed = False
+        self.process = None
+        self._conn = None
+        with self._lock:
+            self._spawn_locked()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn_locked(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.index,
+                self._catalog_factory,
+                self._config,
+                self._max_sessions,
+                self._ttl_seconds,
+            ),
+            name=f"dbwipes-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self._conn = parent_conn
+        self._generation += 1
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(parent_conn, self._generation),
+            name=f"dbwipes-worker-{self.index}-reader",
+            daemon=True,
+        )
+        reader.start()
+
+    def close(self) -> None:
+        """Orderly shutdown: sentinel, join briefly, then terminate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conn, process = self._conn, self.process
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        process.join(timeout=2)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2)
+        conn.close()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the current worker process is running."""
+        return self.process is not None and self.process.is_alive()
+
+    # -- request path --------------------------------------------------
+
+    def call(self, message: dict, timeout: float | None = None) -> dict:
+        """Send one request to the worker and wait for its envelope.
+
+        Never raises for worker failures: a dead worker yields a
+        ``WorkerCrashed`` envelope (and a respawn), an unresponsive one a
+        ``WorkerTimeout`` envelope — the connection is never left hung.
+        """
+        if timeout is None:
+            timeout = self.call_timeout
+        request_id = message.get("id") if isinstance(message, dict) else None
+        pending = _Pending(request_id)
+        with self._lock:
+            if self._closed:
+                return error_response(
+                    request_id, "WorkerCrashed", "worker pool is closed"
+                )
+            token = self._next_token
+            self._next_token += 1
+            self._pending[token] = pending
+            self.requests += 1
+            try:
+                self._conn.send((token, message))
+            except (BrokenPipeError, OSError):
+                # The reader thread handles the respawn on EOF; this
+                # call just reports the crash.
+                self._pending.pop(token, None)
+                return error_response(
+                    request_id,
+                    "WorkerCrashed",
+                    f"worker {self.index} is down; it is being restarted",
+                )
+        if pending.event.wait(timeout):
+            assert pending.envelope is not None
+            return pending.envelope
+        with self._lock:
+            self._pending.pop(token, None)
+        return error_response(
+            request_id,
+            "WorkerTimeout",
+            f"worker {self.index} did not answer within {timeout}s",
+        )
+
+    def _read_loop(self, conn, generation: int) -> None:
+        while True:
+            try:
+                token, envelope = conn.recv()
+            except (EOFError, OSError):
+                break
+            except (ValueError, TypeError):
+                continue  # unframeable response; keep the worker alive
+            with self._lock:
+                pending = self._pending.pop(token, None)
+            if pending is not None:
+                pending.envelope = envelope
+                pending.event.set()
+        # The pipe closed: orderly shutdown, a superseded generation, or
+        # a crash. Only the crash respawns and fails the in-flight calls.
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return
+            stranded = list(self._pending.values())
+            self._pending.clear()
+            self.restarts += 1
+            self._spawn_locked()
+        for pending in stranded:
+            pending.envelope = error_response(
+                pending.request_id,
+                "WorkerCrashed",
+                f"worker {self.index} exited while handling the request; "
+                "it has been restarted — reopen the session and retry",
+            )
+            pending.event.set()
+
+    def stats(self) -> dict:
+        """Process-level counters (requests, restarts, liveness)."""
+        with self._lock:
+            return {
+                "worker": self.index,
+                "pid": self.process.pid if self.process else None,
+                "alive": self.alive,
+                "requests": self.requests,
+                "restarts": self.restarts,
+                "in_flight": len(self._pending),
+            }
+
+
+class WorkerPool:
+    """N workers, one handle each, addressed by index.
+
+    The pool knows nothing about routing — the
+    :class:`~repro.service.router.RoutingDispatcher` decides which index
+    serves which dataset/session; the pool just moves envelopes.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        catalog_factory: Callable[[], DatasetCatalog] | None = None,
+        config=None,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        start_method: str | None = None,
+        call_timeout: float | None = DEFAULT_CALL_TIMEOUT,
+    ):
+        if n_workers < 1:
+            raise ServiceError("n_workers must be >= 1")
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.workers = [
+            WorkerHandle(
+                index,
+                ctx,
+                catalog_factory=catalog_factory,
+                config=config,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+                call_timeout=call_timeout,
+            )
+            for index in range(n_workers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def call(self, index: int, message: dict, timeout: float | None = None) -> dict:
+        """One request to one worker; always returns an envelope."""
+        return self.workers[index].call(message, timeout=timeout)
+
+    def broadcast(self, message: dict) -> list[dict]:
+        """The same request to every worker; envelopes in worker order."""
+        return [worker.call(message) for worker in self.workers]
+
+    def stats(self) -> list[dict]:
+        """Per-worker process counters, in worker order."""
+        return [worker.stats() for worker in self.workers]
+
+    def close(self) -> None:
+        """Shut every worker down."""
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

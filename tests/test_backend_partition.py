@@ -1,0 +1,245 @@
+"""The partition-parity contract of the execution backends.
+
+The ``partitioned`` backend splits the influence/Δε pass into
+group-aligned row blocks and concatenates the per-block results; the
+contract (and the whole point of the design) is that every ranked
+predicate, score, and rendered rule is **byte-identical** to the
+single-pass ``in_process`` backend for every partition count — the
+partitioning is an execution detail, never a semantics change.
+
+This file is that contract's enforcement: full FEC debug cycles across
+backends × partition counts × scoring algorithms (extending the
+fresh-run pattern of ``tests/test_determinism.py``), plus unit coverage
+of the partition-plan primitives themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    InProcessBackend,
+    PartitionedBackend,
+    PipelineConfig,
+    make_backend,
+    partition_segments,
+)
+from repro.data import FECConfig, generate_fec, walkthrough_query
+from repro.db import Database
+from repro.db.segments import SegmentedValues, partition_offsets
+from repro.errors import PipelineError, ReproError
+from repro.frontend import Brush, DBWipesSession
+
+FEC_CONFIG = FECConfig(
+    n_days=150,
+    base_rate=10,
+    events=((40, 3.0), (90, 4.0)),
+    anomaly_day=100,
+)
+
+PARTITION_COUNTS = (1, 2, 3, 7)
+
+
+def _fec_db() -> Database:
+    table, __ = generate_fec(FEC_CONFIG)
+    db = Database()
+    db.register(table)
+    return db
+
+
+def _debug_lines(config: PipelineConfig | None = None) -> list[str]:
+    """One scripted §3.2 FEC debug cycle from fresh state, as text."""
+    session = DBWipesSession(_fec_db(), config)
+    session.execute(walkthrough_query("MCCAIN"))
+    session.select_results(Brush.below(0.0))
+    session.zoom()
+    session.select_inputs(Brush.below(0.0))
+    session.set_metric("too_low", threshold=0.0)
+    report = session.debug()
+    return [
+        "|".join(
+            (
+                ranked.predicate.describe(),
+                ranked.predicate.to_sql(),
+                repr(ranked.score),
+                repr(ranked.epsilon_before),
+                repr(ranked.epsilon_after),
+                ranked.candidate_origin,
+                ranked.source,
+                ranked.describe(),
+            )
+        )
+        for ranked in report
+    ]
+
+
+class TestBackendParity:
+    """debug() output is byte-identical across backends and fan-outs."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self) -> list[str]:
+        lines = _debug_lines(PipelineConfig())
+        assert lines  # the cycle must actually rank something
+        return lines
+
+    @pytest.mark.parametrize("n_partitions", PARTITION_COUNTS)
+    @pytest.mark.parametrize("score_algorithm", ["batch", "per_rule"])
+    def test_partitioned_matches_in_process(
+        self, baseline, n_partitions, score_algorithm
+    ):
+        lines = _debug_lines(
+            PipelineConfig(
+                backend="partitioned",
+                n_partitions=n_partitions,
+                score_algorithm=score_algorithm,
+            )
+        )
+        assert lines == baseline
+
+    def test_per_rule_in_process_matches(self, baseline):
+        assert _debug_lines(PipelineConfig(score_algorithm="per_rule")) == baseline
+
+    @pytest.mark.parametrize("n_partitions", (2, 5))
+    def test_parity_with_merging(self, n_partitions):
+        merged = PipelineConfig(merge_predicates=True)
+        partitioned = PipelineConfig(
+            merge_predicates=True, backend="partitioned", n_partitions=n_partitions
+        )
+        first = _debug_lines(merged)
+        assert first
+        assert _debug_lines(partitioned) == first
+
+
+class TestBackendWiring:
+    def test_make_backend_selects_by_config(self):
+        assert isinstance(make_backend(PipelineConfig()), InProcessBackend)
+        partitioned = make_backend(
+            PipelineConfig(backend="partitioned", n_partitions=3)
+        )
+        assert isinstance(partitioned, PartitionedBackend)
+        assert partitioned.n_partitions == 3
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(PipelineError):
+            make_backend(PipelineConfig(backend="quantum"))
+
+    def test_backends_registry(self):
+        assert set(BACKENDS) == {"in_process", "partitioned"}
+
+    def test_backend_stats_in_snapshot(self):
+        session = DBWipesSession(
+            _fec_db(), PipelineConfig(backend="partitioned", n_partitions=4)
+        )
+        stats = session.snapshot()["backend"]
+        assert stats["backend"] == "partitioned"
+        assert stats["n_partitions"] == 4
+        assert stats["debug_count"] == 0
+
+        session.execute(walkthrough_query("MCCAIN"))
+        session.select_results(Brush.below(0.0))
+        session.zoom()
+        session.select_inputs(Brush.below(0.0))
+        session.set_metric("too_low", threshold=0.0)
+        session.debug()
+
+        stats = session.snapshot()["backend"]
+        assert stats["debug_count"] == 1
+        scatter = stats["scatter"]
+        # The scatter counters prove the fan-out actually happened.
+        assert scatter.get("influence_blocks", 0) > 0
+        total_blocks = (
+            scatter.get("delta_blocks", 0)
+            + scatter.get("rule_blocks", 0)
+        )
+        assert total_blocks > 0
+
+    def test_in_process_backend_reports_no_scatter(self):
+        session = DBWipesSession(_fec_db(), PipelineConfig())
+        stats = session.snapshot()["backend"]
+        assert stats["backend"] == "in_process"
+        assert stats["n_partitions"] == 1
+        assert stats["scatter"] == {}
+
+
+class TestPartitionPrimitives:
+    def test_partition_offsets_snap_to_segment_boundaries(self):
+        offsets = np.array([0, 4, 4, 9, 10, 16], dtype=np.int64)
+        for n in (1, 2, 3, 4, 10):
+            bounds = partition_offsets(offsets, n)
+            assert bounds[0] == 0 and bounds[-1] == len(offsets) - 1
+            assert np.all(np.diff(bounds) > 0)  # no empty blocks
+            # Every cut is a segment index — blocks never split a group.
+            assert set(bounds.tolist()) <= set(range(len(offsets)))
+
+    def test_partition_offsets_degenerate(self):
+        offsets = np.array([0, 5], dtype=np.int64)  # one segment
+        assert partition_offsets(offsets, 4).tolist() == [0, 1]
+        with pytest.raises(ReproError):
+            partition_offsets(offsets, 0)
+
+    def test_partition_segments_blocks_cover_exactly(self):
+        values = np.arange(20, dtype=np.float64)
+        offsets = np.array([0, 3, 7, 12, 15, 20], dtype=np.int64)
+        seg = SegmentedValues(values=values, offsets=offsets)
+        plan = partition_segments(seg, 3)
+        assert plan.n_blocks >= 1
+        reassembled = np.concatenate([block.values for block in plan.blocks])
+        np.testing.assert_array_equal(reassembled, values)
+        total_segments = sum(
+            len(block.offsets) - 1 for block in plan.blocks
+        )
+        assert total_segments == len(offsets) - 1
+
+    def test_partition_plan_is_memoized(self):
+        values = np.arange(10, dtype=np.float64)
+        offsets = np.array([0, 5, 10], dtype=np.int64)
+        seg = SegmentedValues(values=values, offsets=offsets)
+        assert partition_segments(seg, 2) is partition_segments(seg, 2)
+        assert partition_segments(seg, 2) is not partition_segments(seg, 1)
+
+    def test_slice_segments_rebases_offsets(self):
+        values = np.arange(12, dtype=np.float64)
+        offsets = np.array([0, 2, 6, 9, 12], dtype=np.int64)
+        seg = SegmentedValues(values=values, offsets=offsets)
+        view = seg.slice_segments(1, 3)
+        assert view.offsets[0] == 0
+        np.testing.assert_array_equal(view.values, values[2:9])
+        np.testing.assert_array_equal(view.offsets, [0, 4, 7])
+
+
+class TestSplitIndexSlicing:
+    def test_slice_rows_masks_match_full_index(self):
+        from repro.core.preprocessor import Preprocessor
+        from repro.core.error_metrics import TooLow
+
+        db = _fec_db()
+        result = db.sql(walkthrough_query("MCCAIN"))
+        selected = [
+            i for i in range(result.num_rows) if (result.row(i)[-1] or 0) < 0
+        ]
+        pre = Preprocessor().run(result, selected, TooLow(0.0))
+        blocks = pre.partition_blocks(3)
+        assert len(blocks) >= 2
+
+        predicate = None
+        full_index = pre.split_index().take(pre.segment_positions)
+        for column, column_index in full_index.columns.items():
+            if hasattr(column_index, "thresholds") and len(
+                column_index.thresholds
+            ):
+                from repro.db.predicate import interval
+
+                predicate = interval(
+                    column, lo=float(column_index.thresholds[0])
+                )
+                break
+        assert predicate is not None
+
+        global_mask = predicate.mask(pre.segment_table)
+        parts = [
+            engine.predicate_mask(block_table, predicate)
+            for block_table, engine, __ in blocks
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts), global_mask)

@@ -156,3 +156,105 @@ class TestSessionRobustness:
         result = db.sql("SELECT g, avg(v) AS m FROM t WHERE v > 100 GROUP BY g")
         with pytest.raises(PipelineError):
             RankedProvenance().debug(result, [0], TooHigh(0.0))
+
+
+class TestWorkerFailure:
+    """A killed worker must yield a structured error, then a respawn.
+
+    The serving contract: a routed request never ends in a hung
+    connection — a dead worker produces a ``WorkerCrashed`` envelope,
+    the process is respawned, and a reopened session lands on the fresh
+    process and works.
+    """
+
+    def test_killed_worker_reports_and_respawns(self):
+        pytest.importorskip("multiprocessing")
+        import time
+
+        from repro.cli import BOOTSTRAP_QUERIES
+        from repro.errors import ServiceError
+        from repro.service import DBWipesServer, ServiceClient
+
+        server = DBWipesServer(port=0, workers=2)
+        host, port = server.start()
+        try:
+            client = ServiceClient(host, port)
+            info = client.open("intel", session="victim")
+            worker = info["worker"]
+            handle = server.pool.workers[worker]
+            old_pid = handle.process.pid
+
+            client.execute(BOOTSTRAP_QUERIES["intel"])
+            handle.process.kill()
+
+            # The next routed request must come back as a structured
+            # WorkerCrashed error — not a timeout, not a dead socket.
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("sql", session="victim")
+            assert excinfo.value.kind in ("WorkerCrashed", "UnknownSession")
+
+            # The handle respawns a fresh process and counts the restart.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not (
+                handle.alive and handle.process.pid != old_pid
+            ):
+                time.sleep(0.05)
+            assert handle.alive
+            assert handle.restarts >= 1
+            assert handle.process.pid != old_pid
+
+            # The dead worker's placements are gone: the session is
+            # unknown at the front until reopened.
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("sql", session="victim")
+            assert excinfo.value.kind == "UnknownSession"
+
+            # Reopening routes back to the same shard (consistent hash)
+            # and the fresh process serves it end to end.
+            info2 = client.open("intel", session="victim")
+            assert info2["worker"] == worker
+            client.execute(BOOTSTRAP_QUERIES["intel"])
+            client.select_results(brush={"above": 2.0}, y="std_temp")
+            client.set_metric("too_high")
+            report = client.debug(max_rows=3)
+            assert report["n_predicates"] > 0
+
+            stats = client.stats()
+            assert stats["per_worker"][worker]["restarts"] >= 1
+            client.close()
+        finally:
+            server.stop()
+
+    def test_send_to_dead_worker_is_structured(self):
+        from repro.service.workers import WorkerPool
+
+        with WorkerPool(1) as pool:
+            handle = pool.workers[0]
+            assert pool.call(0, {"id": 1, "cmd": "ping"})["ok"]
+            handle.process.kill()
+            handle.process.join(timeout=5)
+            # Either the send fails fast (pipe already closed) or the
+            # reader notices first; both are WorkerCrashed envelopes.
+            envelope = pool.call(0, {"id": 2, "cmd": "ping"}, timeout=10)
+            if not envelope.get("ok"):
+                assert envelope["error"]["kind"] == "WorkerCrashed"
+            # The pool heals: a later call reaches the respawned worker.
+            import time
+
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                envelope = pool.call(0, {"id": 3, "cmd": "ping"}, timeout=10)
+                if envelope.get("ok"):
+                    break
+                time.sleep(0.05)
+            assert envelope.get("ok")
+            assert handle.restarts >= 1
+
+    def test_pool_close_then_call_is_structured(self):
+        from repro.service.workers import WorkerPool
+
+        pool = WorkerPool(1)
+        pool.close()
+        envelope = pool.call(0, {"id": 9, "cmd": "ping"})
+        assert not envelope["ok"]
+        assert envelope["error"]["kind"] == "WorkerCrashed"
