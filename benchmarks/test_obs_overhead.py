@@ -1,0 +1,146 @@
+"""Telemetry overhead: warm ``debug()`` with instrumentation on vs off.
+
+The observability contract is *always-on-cheap*: spans, stage
+histograms, and request counters stay enabled in production, so their
+cost must be provably small. At each workload scale of
+``REPRO_OBS_BENCH_SCALES`` (default ``1`` — the tier-1 smoke; CI runs
+``1,10``) this benchmark times warm partitioned ``debug()`` calls with
+the kill switch on and off, **interleaved** A/B so clock drift and
+cache-warming cancel, and asserts the median enabled run is within 5%
+of the median disabled run.
+
+The partitioned backend is used deliberately: it exercises the densest
+instrumentation (per-stage spans *and* per-partition block timing), so
+the bound it proves covers the worst case.
+
+Results land in ``BENCH_obs.json`` at the repo root (a CI artifact),
+one section per scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig
+from repro.data import IntelConfig, generate_intel
+from repro.db import Database
+from repro.frontend import Brush, DBWipesSession
+from repro.obs import set_enabled, tracer
+
+SCALES = tuple(
+    int(scale)
+    for scale in os.environ.get("REPRO_OBS_BENCH_SCALES", "1").split(",")
+    if scale.strip()
+)
+#: A/B rounds per scale; medians over this many samples per arm.
+N_ROUNDS = 5
+#: The acceptance bound: enabled vs disabled warm-debug medians.
+MAX_OVERHEAD_PCT = 5.0
+BASE_MINUTES = 240
+
+BOOTSTRAP = (
+    "SELECT minute / 30 AS w, avg(temp) AS avg_temp, "
+    "stddev(temp) AS std_temp FROM readings GROUP BY minute / 30 ORDER BY w"
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _intel_session(scale: int) -> DBWipesSession:
+    table, __ = generate_intel(
+        IntelConfig(
+            n_sensors=54,
+            duration_minutes=BASE_MINUTES * scale,
+            interval_minutes=2.0,
+            failing_sensors=(15, 18),
+            failure_onset_frac=0.7,
+            seed=100,
+        )
+    )
+    db = Database()
+    db.register(table)
+    session = DBWipesSession(
+        db, PipelineConfig(backend="partitioned", n_partitions=4)
+    )
+    result = session.execute(BOOTSTRAP)
+    std = np.asarray(result.column("std_temp"), dtype=float)
+    cutoff = 4.0 * float(np.median(std[np.isfinite(std)]))
+    session.select_results(Brush.above(cutoff), y="std_temp")
+    session.set_metric("too_high")
+    return session
+
+
+def _merge_into_bench(section: str, payload) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+class TestObsOverhead:
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_warm_debug_overhead_within_bound(self, scale):
+        session = _intel_session(scale)
+        samples: dict[bool, list[float]] = {True: [], False: []}
+        try:
+            # Warm both arms once: the first debug preprocesses and
+            # fills the cache; the first disabled debug absorbs any
+            # flag-flip effects. Neither is timed.
+            for enabled in (True, False):
+                set_enabled(enabled)
+                session.debug()
+            for __ in range(N_ROUNDS):
+                for enabled in (False, True):  # interleaved A/B
+                    set_enabled(enabled)
+                    start = time.perf_counter()
+                    session.debug()
+                    samples[enabled].append(time.perf_counter() - start)
+        finally:
+            set_enabled(True)
+
+        # One warm instrumented debug() worth of spans, for the record.
+        with tracer().span("bench.root") as root:
+            session.debug()
+        spans_per_debug = len(tracer().spans(root.trace_id)) - 1
+
+        enabled_median = float(np.median(samples[True]))
+        disabled_median = float(np.median(samples[False]))
+        overhead_pct = 100.0 * (enabled_median / disabled_median - 1.0)
+
+        section = {
+            "benchmark": "obs_overhead",
+            "scale": scale,
+            "rows": 54 * (BASE_MINUTES * scale) // 2,
+            "n_rounds": N_ROUNDS,
+            "backend": "partitioned",
+            "n_partitions": 4,
+            "spans_per_debug": spans_per_debug,
+            "enabled_seconds_median": enabled_median,
+            "disabled_seconds_median": disabled_median,
+            "enabled_seconds": samples[True],
+            "disabled_seconds": samples[False],
+            "overhead_pct": overhead_pct,
+            "max_overhead_pct": MAX_OVERHEAD_PCT,
+        }
+        _merge_into_bench(f"overhead_scale_{scale}x", section)
+        print(
+            f"\nobs overhead {scale}x: enabled={enabled_median:.4f}s, "
+            f"disabled={disabled_median:.4f}s, overhead={overhead_pct:+.2f}% "
+            f"({spans_per_debug} spans/debug) -> {BENCH_PATH.name}"
+        )
+        assert overhead_pct <= MAX_OVERHEAD_PCT, (
+            f"instrumentation costs {overhead_pct:.2f}% on warm debug() "
+            f"at {scale}x (bound: {MAX_OVERHEAD_PCT}%)"
+        )

@@ -35,6 +35,8 @@ Subpackages
 * :mod:`repro.baselines` — classic provenance and fixed-criteria rivals.
 * :mod:`repro.service` — the concurrent multi-session TCP serving tier
   (``python -m repro serve`` / ``connect``).
+* :mod:`repro.obs` — dependency-free telemetry: metrics registry,
+  request tracing, cluster exposition (``python -m repro metrics``).
 """
 
 from . import errors

@@ -9,10 +9,15 @@ provided bootstrap queries. This CLI is that experience in a terminal:
 * ``python -m repro fec --script`` — run the full §3.2 walkthrough
   non-interactively (useful for demos, docs, and tests);
 * ``python -m repro serve`` — boot the multi-session TCP service
-  (options: ``--host``, ``--port``, ``--max-sessions``, ``--ttl``);
+  (options: ``--host``, ``--port``, ``--max-sessions``, ``--ttl``,
+  ``--workers``, ``--backend``, ``--partitions``,
+  ``--slow-threshold``);
 * ``python -m repro connect`` — the same interactive loop, but against
   a running server (``--host``, ``--port``, ``--session``,
-  ``--dataset``, ``--script``).
+  ``--dataset``, ``--script``);
+* ``python -m repro metrics`` — cluster-merged telemetry from a running
+  server, Prometheus text by default (``--host``, ``--port``,
+  ``--json``).
 
 Interactive commands mirror the dashboard's controls::
 
@@ -304,6 +309,8 @@ class RemoteShell(BaseShell):
             "query": self._cmd_query,
             "snapshot": self._cmd_snapshot,
             "stats": self._cmd_stats,
+            "metrics": self._cmd_metrics,
+            "trace": self._cmd_trace,
             "help": self._cmd_help,
         }
 
@@ -420,6 +427,23 @@ class RemoteShell(BaseShell):
         for key, value in self.client.stats().items():
             self._print(f"  {key}: {value}")
 
+    def _cmd_metrics(self, args: list[str]) -> None:
+        from .obs import render_prometheus
+
+        result = self.client.metrics()
+        self._print(render_prometheus(result["merged"]).rstrip())
+
+    def _cmd_trace(self, args: list[str]) -> None:
+        from .obs import render_tree
+
+        trace_id = args[0] if args else self.client.last_trace
+        result = self.client.trace(trace_id)
+        if not result.get("trace_id"):
+            self._print("no trace recorded yet; run a command first")
+            return
+        self._print(f"trace {result['trace_id']}")
+        self._print(render_tree(result["tree"]).rstrip())
+
     def _cmd_help(self, args: list[str]) -> None:
         self._print(__doc__ or "")
 
@@ -441,9 +465,14 @@ def serve_main(argv: list[str]) -> int:
     ``--backend`` / ``--partitions`` pick the execution backend every
     session's pipeline uses (``partitioned`` splits the influence pass
     into ``--partitions`` row blocks — byte-identical results).
+    ``--slow-threshold S`` marks requests slower than S seconds in the
+    slow-request log (exported via the env so workers inherit it).
     """
+    import os
+
     from .core.backend import BACKENDS
     from .core.pipeline import PipelineConfig
+    from .obs import set_slow_threshold
     from .service import DBWipesServer, SessionManager
 
     try:
@@ -454,6 +483,12 @@ def serve_main(argv: list[str]) -> int:
         workers = int(_flag_value(argv, "--workers", "0"))
         backend = _flag_value(argv, "--backend", "in_process")
         partitions = int(_flag_value(argv, "--partitions", "1"))
+        slow = _flag_value(argv, "--slow-threshold", "")
+        if slow:
+            # Via the environment so ``spawn``-started workers (which
+            # re-import everything) see the same threshold.
+            os.environ["REPRO_SLOW_REQUEST_SECONDS"] = str(float(slow))
+            set_slow_threshold(float(slow))
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown --backend {backend!r} (known: {list(BACKENDS)})"
@@ -538,6 +573,50 @@ def connect_main(argv: list[str]) -> int:
     return 0
 
 
+def metrics_main(argv: list[str]) -> int:
+    """``python -m repro metrics`` — scrape a running service.
+
+    Prints the cluster-merged registry (front end + every worker,
+    counters summed and histograms merged bucket-wise) in Prometheus
+    text exposition format, or as the raw JSON snapshot with
+    ``--json``. Slow-request records, if any, follow as a comment
+    block so a terminal scrape surfaces them without extra flags.
+    """
+    import json
+
+    from .obs import render_prometheus
+    from .service import ServiceClient
+
+    try:
+        host = _flag_value(argv, "--host", "127.0.0.1")
+        port = int(_flag_value(argv, "--port", "8642"))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    client = ServiceClient(host, port)
+    try:
+        client.ping()
+        result = client.metrics()
+    except ReproError as error:
+        print(f"error: cannot scrape {host}:{port}: {error}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if "--json" in argv:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    print(render_prometheus(result["merged"]).rstrip())
+    slow = result.get("slow_requests") or []
+    if slow:
+        print(f"# {len(slow)} slow request(s):")
+        for record in slow:
+            print(
+                f"#   cmd={record.get('cmd')} seconds={record.get('seconds')} "
+                f"trace={record.get('trace_id')}"
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -548,6 +627,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv[0] == "connect":
         return connect_main(argv[1:])
+    if argv[0] == "metrics":
+        return metrics_main(argv[1:])
     dataset = argv[0]
     scripted = "--script" in argv[1:]
     try:

@@ -30,6 +30,9 @@ import numpy as np
 
 from ..db.result import ResultSet
 from ..errors import PipelineError
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
+from ..obs.trace import span as obs_span
 from .enumerator import DatasetEnumerator
 from .error_metrics import ErrorMetric
 from .influence import (
@@ -74,6 +77,7 @@ class InProcessBackend:
             fast_influence=config.fast_influence,
             cache=preprocess_cache,
             partitions=self.influence_partitions(),
+            scatter_stats=self._scatter,
         )
         self._enumerator = DatasetEnumerator(
             clean_strategy=config.clean_strategy,
@@ -148,29 +152,50 @@ class InProcessBackend:
         """Run the full pipeline and return the ranked predicate report."""
         timings: dict[str, float] = {}
 
-        start = time.perf_counter()
-        pre = self._preprocessor.run(result, selected_rows, metric, agg_name=agg_name)
-        timings["preprocess"] = time.perf_counter() - start
-        self._note_preprocess(pre)
-
-        start = time.perf_counter()
-        candidates = self._enumerator.run(pre, dprime_tids)
-        timings["enumerate_datasets"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        candidate_rules = self._predicates.run(pre, candidates)
-        timings["enumerate_predicates"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        ranked = self._ranker.run(pre, candidates, candidate_rules)
-        timings["rank"] = time.perf_counter() - start
-
-        if self._merger is not None:
+        with obs_span("pipeline.debug", backend=self.name):
             start = time.perf_counter()
-            ranked = self._merger.run(pre, candidates, ranked)
-            timings["merge"] = time.perf_counter() - start
+            with obs_span("stage.preprocess"):
+                pre = self._preprocessor.run(
+                    result, selected_rows, metric, agg_name=agg_name
+                )
+            timings["preprocess"] = time.perf_counter() - start
+            self._note_preprocess(pre)
+
+            start = time.perf_counter()
+            with obs_span("stage.enumerate_datasets"):
+                candidates = self._enumerator.run(pre, dprime_tids)
+            timings["enumerate_datasets"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            with obs_span("stage.enumerate_predicates"):
+                candidate_rules = self._predicates.run(pre, candidates)
+            timings["enumerate_predicates"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            with obs_span("stage.rank"):
+                ranked = self._ranker.run(pre, candidates, candidate_rules)
+            timings["rank"] = time.perf_counter() - start
+
+            if self._merger is not None:
+                start = time.perf_counter()
+                with obs_span("stage.merge"):
+                    ranked = self._merger.run(pre, candidates, ranked)
+                timings["merge"] = time.perf_counter() - start
 
         self._debug_count += 1
+        if obs_enabled():
+            reg = obs_registry()
+            reg.counter(
+                "dbwipes_debugs_total",
+                labels={"backend": self.name},
+                help="Pipeline debug() executions.",
+            ).inc()
+            for stage, seconds in timings.items():
+                reg.histogram(
+                    "dbwipes_stage_seconds",
+                    labels={"stage": stage},
+                    help="Wall seconds per pipeline stage.",
+                ).observe(seconds)
         return DebugReport(
             predicates=tuple(ranked),
             epsilon=pre.epsilon,
@@ -209,3 +234,17 @@ class PartitionedBackend(InProcessBackend):
         self._scatter["influence_blocks"] = (
             self._scatter.get("influence_blocks", 0) + plan.n_blocks
         )
+
+    def stats(self) -> dict:
+        data = super().stats()
+        timed = int(self._scatter.get("blocks_timed", 0))
+        total = float(self._scatter.get("block_seconds_total", 0.0))
+        data["partition"] = {
+            "blocks_timed": timed,
+            "block_seconds_total": total,
+            "block_seconds_max": float(
+                self._scatter.get("block_seconds_max", 0.0)
+            ),
+            "block_seconds_mean": (total / timed) if timed else 0.0,
+        }
+        return data

@@ -32,6 +32,7 @@ Two implementations are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -45,6 +46,58 @@ from ..db.segments import (
     partition_offsets,
 )
 from ..errors import PipelineError
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
+from ..obs.trace import span as obs_span
+
+
+#: (registry generation, blocks counter, block-seconds histogram) —
+#: resolved lazily and re-resolved after a registry ``clear()`` (worker
+#: startup), so the per-block hot path below pays one generation check
+#: instead of two name lookups per event.
+_BLOCK_METRICS: tuple[int, object, object] | None = None
+
+
+def _block_metrics():
+    global _BLOCK_METRICS
+    reg = obs_registry()
+    generation = reg.generation
+    cached = _BLOCK_METRICS
+    if cached is None or cached[0] != generation:
+        cached = (
+            generation,
+            reg.counter(
+                "dbwipes_partition_blocks_total",
+                help="Partition blocks executed by the scatter-gather kernels.",
+            ),
+            reg.histogram(
+                "dbwipes_partition_block_seconds",
+                help="Wall seconds per partition block.",
+            ),
+        )
+        _BLOCK_METRICS = cached
+    return cached[1], cached[2]
+
+
+def _record_block_time(seconds: float, stats: dict | None) -> None:
+    """Account one partition block's wall time.
+
+    Feeds two sinks: the backend's scatter-stats dict (surfaced as block
+    count + max/mean in ``snapshot()["timings"]``) and, when telemetry
+    is on, the shared registry's partition-block histogram/counter. This
+    runs per block per scored predicate — keep it allocation-free.
+    """
+    if stats is not None:
+        stats["blocks_timed"] = stats.get("blocks_timed", 0) + 1
+        stats["block_seconds_total"] = (
+            stats.get("block_seconds_total", 0.0) + seconds
+        )
+        if seconds > stats.get("block_seconds_max", 0.0):
+            stats["block_seconds_max"] = seconds
+    if obs_enabled():
+        counter, histogram = _block_metrics()
+        counter.inc()
+        histogram.observe(seconds)
 
 
 @dataclass(frozen=True)
@@ -172,6 +225,7 @@ def leave_one_out_influence(
     metric,
     fast: bool = True,
     n_partitions: int = 1,
+    scatter_stats: dict | None = None,
 ) -> InfluenceResult:
     """Compute influence for every tuple of the selected groups.
 
@@ -193,6 +247,9 @@ def leave_one_out_influence(
         Scatter the grouped passes over this many group-aligned blocks
         (the partitioned backend's influence stage). Per-group results
         concatenate in group order, so any count is bit-identical to 1.
+    scatter_stats:
+        Optional dict accumulating per-block timing (the partitioned
+        backend shares its scatter-counter dict here).
     """
     if len(group_values) != len(group_tids) or len(group_values) != len(rows):
         raise PipelineError("group_values, group_tids, and rows must align")
@@ -202,12 +259,18 @@ def leave_one_out_influence(
         # kernels are per-group-local folds, so per-block current and
         # leave-one-out values concatenate into exactly the global ones.
         plan = partition_segments(seg, n_partitions)
-        current = np.concatenate(
-            [aggregate.compute_grouped(block) for block in plan.blocks]
-        )
-        loo_flat = np.concatenate(
-            [aggregate.leave_one_out_grouped(block) for block in plan.blocks]
-        )
+        currents: list[np.ndarray] = []
+        loos: list[np.ndarray] = []
+        for index, block in enumerate(plan.blocks):
+            with obs_span(
+                "partition.block", index=index, rows=len(block.values)
+            ):
+                t0 = time.perf_counter()
+                currents.append(aggregate.compute_grouped(block))
+                loos.append(aggregate.leave_one_out_grouped(block))
+                _record_block_time(time.perf_counter() - t0, scatter_stats)
+        current = np.concatenate(currents)
+        loo_flat = np.concatenate(loos)
     elif fast:
         # One grouped pass over every selected group at once: current
         # values, leave-one-out values, and per-value errors are all
@@ -554,14 +617,16 @@ def _epsilons_partitioned(
     the scatter fan-out counters the backend surfaces in ``snapshot()``.
     """
     plan = partition_segments(seg, n_partitions)
-    new_values = np.hstack(
-        [
+    parts: list[np.ndarray] = []
+    for b, block in enumerate(plan.blocks):
+        t0 = time.perf_counter()
+        parts.append(
             _new_values_group_sparse(
                 block, remove_masks[:, slice(*plan.flat_bounds(b))], aggregate
             )
-            for b, block in enumerate(plan.blocks)
-        ]
-    )
+        )
+        _record_block_time(time.perf_counter() - t0, stats)
+    new_values = np.hstack(parts)
     if stats is not None:
         stats["delta_blocks"] = stats.get("delta_blocks", 0) + plan.n_blocks
         stats["delta_mask_rows"] = (
@@ -633,10 +698,12 @@ class PartitionedDeltaEpsilonScorer(DeltaEpsilonScorer):
         for block_table, engine, block_seg in pre.partition_blocks(
             self.n_partitions
         ):
+            t0 = time.perf_counter()
             remove_block = engine.predicate_mask(block_table, predicate)
             parts.append(
                 pre.aggregate.compute_without_grouped(block_seg, remove_block)
             )
+            _record_block_time(time.perf_counter() - t0, self.stats)
         self.stats["rule_blocks"] = (
             self.stats.get("rule_blocks", 0) + plan.n_blocks
         )

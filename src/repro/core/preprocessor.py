@@ -34,6 +34,8 @@ from ..db.segments import SegmentedValues
 from ..db.sqlparse.ast_nodes import AggregateCall, Star
 from ..db.table import Table
 from ..errors import PipelineError
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
 from .error_metrics import ErrorMetric
 from .influence import InfluenceResult, leave_one_out_influence
 
@@ -295,6 +297,23 @@ class PreprocessCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Mirror the ad-hoc counters into the shared telemetry registry:
+        # get-or-create means every cache instance in a process feeds the
+        # same process-wide counters (the ``metrics`` command merges the
+        # per-process values cluster-wide).
+        reg = obs_registry()
+        self._m_hits = reg.counter(
+            "dbwipes_preprocess_cache_hits_total",
+            help="Preprocess cache lookups served from cache.",
+        )
+        self._m_misses = reg.counter(
+            "dbwipes_preprocess_cache_misses_total",
+            help="Preprocess cache lookups that computed a fresh result.",
+        )
+        self._m_evictions = reg.counter(
+            "dbwipes_preprocess_cache_evictions_total",
+            help="Preprocess cache entries evicted by the LRU bound.",
+        )
 
     class _Entry:
         __slots__ = ("ready", "value", "error")
@@ -314,10 +333,14 @@ class PreprocessCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                if obs_enabled():
+                    self._m_hits.inc()
             else:
                 entry = PreprocessCache._Entry()
                 self._entries[key] = entry
                 self._misses += 1
+                if obs_enabled():
+                    self._m_misses.inc()
                 owner = True
                 while len(self._entries) > self.max_entries:
                     old_key, old_entry = next(iter(self._entries.items()))
@@ -325,6 +348,8 @@ class PreprocessCache:
                         break
                     del self._entries[old_key]
                     self._evictions += 1
+                    if obs_enabled():
+                        self._m_evictions.inc()
         if owner:
             try:
                 value = compute()
@@ -404,6 +429,7 @@ class Preprocessor:
         fast_influence: bool = True,
         cache: PreprocessCache | None = None,
         partitions: int = 1,
+        scatter_stats: dict | None = None,
     ):
         self.fast_influence = fast_influence
         self.cache = cache
@@ -412,6 +438,9 @@ class Preprocessor:
         #: part of the cache key: any partition count produces
         #: bit-identical results, so backends share cache entries.
         self.partitions = max(1, int(partitions))
+        #: Per-block timing accumulator shared with the owning backend
+        #: (surfaced as block count + max/mean in ``snapshot()``).
+        self.scatter_stats = scatter_stats
 
     def run(
         self,
@@ -483,6 +512,7 @@ class Preprocessor:
             metric,
             fast=self.fast_influence,
             n_partitions=self.partitions,
+            scatter_stats=self.scatter_stats,
         )
         F = result.fine.lineage_table_many(list(selected))
         return PreprocessResult(

@@ -90,3 +90,7 @@ class ServiceError(ReproError):
 
 class ProtocolError(ServiceError):
     """A wire message violated the JSON-line protocol (bad JSON, bad shape)."""
+
+
+class ObservabilityError(ReproError):
+    """The telemetry registry was misused (metric kind/bucket conflicts)."""

@@ -103,6 +103,7 @@ class DBWipesSession:
         (or a reconnecting dashboard) needs to re-render its controls
         without replaying the interaction history.
         """
+        backend_stats = self.pipeline.backend.stats()
         snapshot: dict = {
             "state": self._state,
             "sql": self._rewriter.sql() if self._rewriter is not None else None,
@@ -124,8 +125,13 @@ class DBWipesSession:
                 "last": dict(self._stage_timings),
                 "total": dict(self._stage_totals),
             },
-            "backend": self.pipeline.backend.stats(),
+            "backend": backend_stats,
         }
+        if "partition" in backend_stats:
+            # Per-partition timing detail (block count + max/mean block
+            # seconds) rides next to the stage timings so dashboards see
+            # skew across blocks, not just the collapsed stage total.
+            snapshot["timings"]["partition"] = dict(backend_stats["partition"])
         return snapshot
 
     # ------------------------------------------------------------------

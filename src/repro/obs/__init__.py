@@ -1,0 +1,82 @@
+"""Unified telemetry for the DBWipes reproduction.
+
+Three pillars, all dependency-free and always-on-cheap:
+
+* :mod:`repro.obs.metrics` — process-local Counter/Gauge/Histogram
+  primitives behind one global named registry, with cluster merging
+  (counters summed, histogram buckets summed — ratios recomputed, never
+  averaged) and Prometheus text rendering.
+* :mod:`repro.obs.trace` — trace/span context minted at the server
+  accept path and propagated through the wire envelope, the router, and
+  the worker pipe into per-stage backend execution; recent traces live
+  in a per-process ring buffer, recoverable as one JSON span tree.
+* :mod:`repro.obs.logs` — structured JSON-line logging correlated by
+  trace id, plus the slow-request log feeding ROADMAP's admission
+  control work.
+
+``repro.obs.flags.set_enabled(False)`` (or ``REPRO_OBS_DISABLED=1``)
+turns the hot-path instrumentation off; ``benchmarks/test_obs_overhead.py``
+uses that ablation to prove the enabled overhead stays within budget.
+"""
+
+from __future__ import annotations
+
+from .flags import enabled, reset_from_env, set_enabled
+from .logs import (
+    StructuredLogger,
+    log_to_stderr,
+    logger,
+    maybe_log_slow,
+    set_slow_threshold,
+    slow_threshold,
+)
+from .metrics import (
+    CORE_METRICS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    registry,
+    render_prometheus,
+)
+from .trace import (
+    Tracer,
+    from_wire,
+    new_id,
+    render_tree,
+    span,
+    span_tree,
+    tracer,
+    wire_context,
+)
+
+__all__ = [
+    "CORE_METRICS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "Tracer",
+    "enabled",
+    "from_wire",
+    "log_to_stderr",
+    "logger",
+    "maybe_log_slow",
+    "merge_snapshots",
+    "new_id",
+    "registry",
+    "render_prometheus",
+    "render_tree",
+    "reset_from_env",
+    "set_enabled",
+    "set_slow_threshold",
+    "slow_threshold",
+    "span",
+    "span_tree",
+    "tracer",
+    "wire_context",
+]

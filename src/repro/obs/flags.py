@@ -1,0 +1,43 @@
+"""The telemetry kill switch.
+
+Instrumentation is always-on by default (the overhead budget in
+``benchmarks/test_obs_overhead.py`` proves it stays ≤ 5% of a warm
+``debug()``), but the benchmark's ablation baseline — and any
+latency-paranoid deployment — can turn spans, stage histograms, and
+slow-request logging into no-ops, either programmatically
+(:func:`set_enabled`) or via ``REPRO_OBS_DISABLED=1`` in the
+environment (which spawned workers inherit).
+
+Lives in its own module so :mod:`repro.obs.trace`, :mod:`.metrics`, and
+:mod:`.logs` can all read one flag without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _from_env() -> bool:
+    return os.environ.get("REPRO_OBS_DISABLED", "").strip().lower() not in _TRUTHY
+
+
+_ENABLED = _from_env()
+
+
+def enabled() -> bool:
+    """Whether instrumentation records anything in this process."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Flip instrumentation on/off for this process (tests, benchmarks)."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def reset_from_env() -> None:
+    """Re-read ``REPRO_OBS_DISABLED`` (worker startup after spawn)."""
+    global _ENABLED
+    _ENABLED = _from_env()

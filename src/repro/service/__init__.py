@@ -20,6 +20,11 @@ tier for the reproduction:
   dependency-free threaded TCP server over either dispatcher;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
   client used by tests, benchmarks, and ``python -m repro connect``.
+
+Every tier reports into :mod:`repro.obs`: requests are traced across
+the router/worker hop, per-stage latencies land in the shared metrics
+registry, and the ``metrics``/``trace`` wire commands scatter-gather
+the per-process registries and span buffers into one cluster view.
 """
 
 from .cache import DatasetCatalog, PreprocessCache

@@ -46,6 +46,9 @@ class ServiceClient:
         self._next_id = 0
         #: The dataset's suggested first query, filled in by :meth:`open`.
         self.bootstrap: str | None = None
+        #: Trace id of the most recent response (server-stamped), so a
+        #: ``debug()`` can be followed by ``trace(client.last_trace)``.
+        self.last_trace: str | None = None
 
     # ------------------------------------------------------------------
     # connection management
@@ -125,6 +128,9 @@ class ServiceClient:
                 f"response id {response.get('id')!r} does not match "
                 f"request id {request_id}"
             )
+        trace = response.get("trace")
+        if isinstance(trace, str):
+            self.last_trace = trace
         if response.get("ok"):
             return response.get("result")
         error = response.get("error") or {}
@@ -148,6 +154,14 @@ class ServiceClient:
     def sessions(self) -> list[dict]:
         """Summaries of every live session."""
         return self.call("sessions")["sessions"]
+
+    def metrics(self) -> dict:
+        """The cluster-merged telemetry registry snapshot."""
+        return self.call("metrics")
+
+    def trace(self, trace_id: str | None = None) -> dict:
+        """One trace's spans + tree (defaults to the most recent trace)."""
+        return self.call("trace", trace_id=trace_id)
 
     def open(self, dataset: str, session: str | None = None) -> dict:
         """Open (or rejoin) this client's session on a dataset."""

@@ -10,10 +10,15 @@ reported as ``InternalError`` without killing the connection.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 from ..errors import ProtocolError, ReproError
 from ..frontend.session import DBWipesSession
+from ..obs import logs as obs_logs
+from ..obs import trace as obs_trace
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
 from . import protocol
 from .sessions import SessionManager
 
@@ -41,9 +46,55 @@ class LocalDispatcher:
         """Nothing to shut down in-process."""
 
 
-def dispatch(manager: SessionManager, message: dict) -> dict:
-    """Handle one decoded request message; always returns an envelope."""
-    request_id = message.get("id")
+def dispatch(manager: SessionManager, message: dict, role: str = "server") -> dict:
+    """Handle one decoded request message; always returns an envelope.
+
+    Instrumented entry point shared by the single-process server
+    (``role="server"``) and every worker process (``role="worker"``):
+    each request runs under a ``<role>.<cmd>`` span (continuing the
+    trace carried in the message's ``trace`` field, or minting one at a
+    root), bumps the per-command request counter/latency histogram, may
+    land in the slow-request log, and has its trace id stamped on the
+    response envelope so clients can fetch the span tree afterwards.
+    """
+    request_id = message.get("id") if isinstance(message, dict) else None
+    raw_cmd = message.get("cmd") if isinstance(message, dict) else None
+    cmd_label = raw_cmd if isinstance(raw_cmd, str) and raw_cmd else "invalid"
+    trace_id, parent_id = obs_trace.from_wire(message)
+    start = time.perf_counter()
+    with obs_trace.span(
+        f"{role}.{cmd_label}", trace_id=trace_id, parent_id=parent_id
+    ) as span:
+        envelope = _dispatch_inner(manager, message, request_id)
+        if not envelope.get("ok"):
+            span.set(error=envelope["error"]["kind"])
+        stamped_trace = span.trace_id
+    seconds = time.perf_counter() - start
+    if obs_enabled():
+        labels = {"cmd": cmd_label, "role": role}
+        reg = obs_registry()
+        reg.counter(
+            "dbwipes_requests_total",
+            labels=labels,
+            help="Requests dispatched, by command and process role.",
+        ).inc()
+        reg.histogram(
+            "dbwipes_request_seconds",
+            labels=labels,
+            help="Request wall seconds, by command and process role.",
+        ).observe(seconds)
+        obs_logs.maybe_log_slow(
+            cmd_label,
+            seconds,
+            role=role,
+            session=message.get("session") if isinstance(message, dict) else None,
+        )
+    if stamped_trace is not None:
+        envelope.setdefault("trace", stamped_trace)
+    return envelope
+
+
+def _dispatch_inner(manager: SessionManager, message: dict, request_id) -> dict:
     try:
         cmd, session_name, args = protocol.validate_request(message)
         if cmd in _SERVER_HANDLERS:
@@ -103,11 +154,58 @@ def _open(manager: SessionManager, args: dict) -> dict:
     }
 
 
+#: How many recent slow-request records ride along with ``metrics``.
+SLOW_LOG_LIMIT = 20
+
+
+def _metrics(manager: SessionManager, args: dict) -> dict:
+    """This process's registry snapshot (the scatter half of exposition).
+
+    In the single-process server this *is* the cluster view; behind the
+    routing front end each worker answers with its own snapshot and the
+    router merges them (counters summed — never averaged).
+    """
+    snapshot = obs_registry().snapshot()
+    return {
+        "workers": 0,
+        "merged": snapshot,
+        "slow_requests": obs_logs.logger().recent("slow_request")[-SLOW_LOG_LIMIT:],
+    }
+
+
+def _trace(manager: SessionManager, args: dict) -> dict:
+    """Spans of one recent trace from this process's ring buffer.
+
+    With no ``trace_id`` the most recently finished trace is returned
+    (excluding the in-flight ``trace`` request's own). The routing front
+    end resolves the default on the front, then broadcasts the explicit
+    id so every worker contributes the spans it recorded for that trace.
+    """
+    tracer = obs_trace.tracer()
+    trace_id = args.get("trace_id")
+    if trace_id is None:
+        current = tracer.current()
+        trace_id = tracer.last_trace_id(
+            exclude=current[0] if current else None
+        )
+    if not isinstance(trace_id, str) or not trace_id:
+        return {"trace_id": None, "spans": [], "tree": [], "dropped": 0}
+    spans = tracer.spans(trace_id)
+    return {
+        "trace_id": trace_id,
+        "spans": spans,
+        "tree": obs_trace.span_tree(spans),
+        "dropped": tracer.dropped(trace_id),
+    }
+
+
 _SERVER_HANDLERS: dict[str, Callable[[SessionManager, dict], Any]] = {
     "ping": _ping,
     "stats": _stats,
     "sessions": _sessions,
     "open": _open,
+    "metrics": _metrics,
+    "trace": _trace,
 }
 
 

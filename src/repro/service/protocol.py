@@ -28,6 +28,17 @@ respawned; reopen the session and retry) and one whose worker stopped
 answering gets ``WorkerTimeout`` — a routed request always ends in an
 envelope, never a hung connection.
 
+Telemetry rides the same framing. Every response envelope is stamped
+with a top-level ``"trace"`` string — the request's trace id — and a
+request *may* carry ``"trace": {"id": ..., "parent": ...}`` to join an
+existing trace (the router adds this when forwarding to workers, so one
+client request is one trace across processes). Two server-scoped
+commands expose what was recorded: ``metrics`` returns the
+cluster-merged registry snapshot (counters summed across workers,
+histograms merged bucket-wise) plus recent slow-request records, and
+``trace`` returns one trace's spans as a flat list and a nested tree
+(``args: {"trace_id": ...}``; defaults to the most recent trace).
+
 Everything on the wire is JSON-safe: numpy scalars are unwrapped,
 arrays become lists, and NaN/±inf become ``null`` (the protocol is
 strict JSON — ``allow_nan`` is off in both directions).

@@ -25,11 +25,16 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
+import time
 from typing import Hashable, Sequence
 
 from ..errors import ReproError
+from ..obs import logs as obs_logs
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.flags import enabled as obs_enabled
 from . import protocol
-from .handlers import _SERVER_HANDLERS, _SESSION_HANDLERS
+from .handlers import SLOW_LOG_LIMIT, _SERVER_HANDLERS, _SESSION_HANDLERS
 from .workers import WorkerPool
 
 
@@ -80,13 +85,54 @@ class RoutingDispatcher:
     # -- dispatch entry ------------------------------------------------
 
     def handle(self, message: dict) -> dict:
-        """Route one decoded request; always returns an envelope."""
+        """Route one decoded request; always returns an envelope.
+
+        The front end is the server accept path of the cluster: the root
+        ``server.<cmd>`` span is minted here (or grafted onto a trace
+        context the client sent), every worker forward rides a child
+        ``router.<cmd>`` span whose context crosses the pipe in the
+        message's ``trace`` field, and the response envelope is stamped
+        with the trace id so clients can recover the full span tree.
+        """
         request_id = message.get("id")
         try:
             cmd, session, args = protocol.validate_request(message)
         except ReproError as error:
             kind = getattr(error, "kind", None) or type(error).__name__
             return protocol.error_response(request_id, kind, str(error))
+        trace_id, parent_id = obs_trace.from_wire(message)
+        start = time.perf_counter()
+        with obs_trace.span(
+            f"server.{cmd}", trace_id=trace_id, parent_id=parent_id
+        ) as span:
+            envelope = self._dispatch(request_id, cmd, session, args, message)
+            if not envelope.get("ok"):
+                error = envelope.get("error")
+                if isinstance(error, dict):
+                    span.set(error=error.get("kind"))
+            stamped_trace = span.trace_id
+        seconds = time.perf_counter() - start
+        if obs_enabled():
+            labels = {"cmd": cmd, "role": "server"}
+            reg = obs_metrics.registry()
+            reg.counter(
+                "dbwipes_requests_total",
+                labels=labels,
+                help="Requests dispatched, by command and process role.",
+            ).inc()
+            reg.histogram(
+                "dbwipes_request_seconds",
+                labels=labels,
+                help="Request wall seconds, by command and process role.",
+            ).observe(seconds)
+            obs_logs.maybe_log_slow(cmd, seconds, role="server", session=session)
+        if stamped_trace is not None:
+            envelope["trace"] = stamped_trace
+        return envelope
+
+    def _dispatch(
+        self, request_id, cmd: str, session: str | None, args: dict, message: dict
+    ) -> dict:
         if cmd == "ping":
             return protocol.ok_response(
                 request_id,
@@ -100,6 +146,10 @@ class RoutingDispatcher:
             return self._stats(request_id, message)
         if cmd == "sessions":
             return self._sessions(request_id, message)
+        if cmd == "metrics":
+            return self._metrics(request_id, message)
+        if cmd == "trace":
+            return self._trace(request_id, message, args)
         if cmd == "open":
             return self._open(request_id, message, args)
         if cmd in _SESSION_HANDLERS:
@@ -109,23 +159,58 @@ class RoutingDispatcher:
             request_id, "ProtocolError", f"unknown command {cmd!r} (known: {known})"
         )
 
+    # -- traced worker forwards ----------------------------------------
+
+    def _forward(self, worker: int, cmd: str, message: dict) -> dict:
+        """One worker call under a ``router.<cmd>`` span.
+
+        The span's context is injected into the forwarded message's
+        ``trace`` field, so the worker's ``worker.<cmd>`` span (and the
+        pipeline stages underneath) link into the front end's trace.
+        """
+        with obs_trace.span(f"router.{cmd}", worker=worker) as span:
+            context = obs_trace.wire_context(span)
+            forwarded = {**message, "trace": context} if context else message
+            return self.pool.call(worker, forwarded)
+
+    def _broadcast(self, cmd: str, message: dict) -> list[dict]:
+        """The forward above, fanned out to every worker in order."""
+        return [
+            self._forward(index, cmd, message) for index in range(len(self.pool))
+        ]
+
     # -- server-scoped fan-out -----------------------------------------
 
     def _stats(self, request_id, message: dict) -> dict:
-        """Worker stats merged with the routing tier's own counters."""
-        envelopes = self.pool.broadcast(message)
+        """Worker stats merged into true cluster totals.
+
+        Every per-worker counter is *summed* and the cache hit rate is
+        recomputed from the summed lookups — never averaged across
+        workers, because consistent hashing skews load per shard (a
+        99%-hit worker serving 10× the traffic of a 50%-hit worker must
+        dominate the cluster rate).
+        """
+        envelopes = self._broadcast("stats", message)
         per_worker = []
         sessions = 0
-        hits = misses = 0
+        hits = misses = evictions = entries = 0
+        lru_evictions = ttl_evictions = 0
+        worker_requests = restarts = 0
         for process_stats, envelope in zip(self.pool.stats(), envelopes):
             entry = dict(process_stats)
+            worker_requests += int(entry.get("requests", 0))
+            restarts += int(entry.get("restarts", 0))
             if envelope.get("ok"):
                 stats = envelope["result"]
                 entry["stats"] = stats
                 sessions += int(stats.get("sessions", 0))
+                lru_evictions += int(stats.get("lru_evictions", 0))
+                ttl_evictions += int(stats.get("ttl_evictions", 0))
                 cache = stats.get("preprocess_cache", {})
                 hits += int(cache.get("hits", 0))
                 misses += int(cache.get("misses", 0))
+                evictions += int(cache.get("evictions", 0))
+                entries += int(cache.get("entries", 0))
             else:
                 entry["error"] = envelope.get("error")
             per_worker.append(entry)
@@ -141,9 +226,15 @@ class RoutingDispatcher:
                 "sessions": sessions,
                 "placements": placements,
                 "routed_requests": routed,
+                "worker_requests": worker_requests,
+                "restarts": restarts,
+                "lru_evictions": lru_evictions,
+                "ttl_evictions": ttl_evictions,
                 "preprocess_cache": {
                     "hits": hits,
                     "misses": misses,
+                    "evictions": evictions,
+                    "entries": entries,
                     "hit_rate": (hits / total) if total else 0.0,
                 },
                 "per_worker": per_worker,
@@ -153,7 +244,7 @@ class RoutingDispatcher:
     def _sessions(self, request_id, message: dict) -> dict:
         """Every worker's session list, each entry tagged with its worker."""
         merged = []
-        for index, envelope in enumerate(self.pool.broadcast(message)):
+        for index, envelope in enumerate(self._broadcast("sessions", message)):
             if not envelope.get("ok"):
                 continue
             for info in envelope["result"].get("sessions", []):
@@ -161,6 +252,83 @@ class RoutingDispatcher:
                 info["worker"] = index
                 merged.append(info)
         return protocol.ok_response(request_id, {"sessions": merged})
+
+    def _metrics(self, request_id, message: dict) -> dict:
+        """Cluster exposition: scatter registries, merge correctly.
+
+        Counters and gauges sum; histogram buckets sum; nothing is ever
+        averaged. The front end's own registry (request counters, worker
+        crash/respawn/timeout counters) joins the merge alongside every
+        worker's snapshot.
+        """
+        front = obs_metrics.registry().snapshot()
+        snapshots = [front]
+        per_worker = []
+        slow = list(obs_logs.logger().recent("slow_request"))
+        for index, envelope in enumerate(self._broadcast("metrics", message)):
+            if envelope.get("ok"):
+                result = envelope["result"]
+                snapshot = result.get("merged")
+                if isinstance(snapshot, dict):
+                    snapshots.append(snapshot)
+                per_worker.append({"worker": index, "metrics": snapshot})
+                slow.extend(result.get("slow_requests") or ())
+            else:
+                per_worker.append(
+                    {"worker": index, "error": envelope.get("error")}
+                )
+        slow.sort(key=lambda record: record.get("ts", 0.0))
+        return protocol.ok_response(
+            request_id,
+            {
+                "workers": len(self.pool),
+                "merged": obs_metrics.merge_snapshots(snapshots),
+                "per_worker": per_worker,
+                "slow_requests": slow[-SLOW_LOG_LIMIT:],
+            },
+        )
+
+    def _trace(self, request_id, message: dict, args: dict) -> dict:
+        """One trace's spans gathered from the front end and all workers.
+
+        The default trace id resolves *here* (most recently finished
+        front-end trace, excluding the in-flight request's own) and the
+        broadcast carries it explicitly, so every worker contributes the
+        spans it recorded for that exact trace.
+        """
+        tracer = obs_trace.tracer()
+        trace_id = args.get("trace_id")
+        if trace_id is None:
+            current = tracer.current()
+            trace_id = tracer.last_trace_id(
+                exclude=current[0] if current else None
+            )
+        if not isinstance(trace_id, str) or not trace_id:
+            return protocol.ok_response(
+                request_id,
+                {"trace_id": None, "spans": [], "tree": [], "dropped": 0},
+            )
+        spans = tracer.spans(trace_id)
+        dropped = tracer.dropped(trace_id)
+        explicit = {
+            **message,
+            "args": {**args, "trace_id": trace_id},
+        }
+        for envelope in self._broadcast("trace", explicit):
+            if not envelope.get("ok"):
+                continue
+            result = envelope["result"]
+            spans.extend(result.get("spans") or ())
+            dropped += int(result.get("dropped") or 0)
+        return protocol.ok_response(
+            request_id,
+            {
+                "trace_id": trace_id,
+                "spans": spans,
+                "tree": obs_trace.span_tree(spans),
+                "dropped": dropped,
+            },
+        )
 
     # -- session routing -----------------------------------------------
 
@@ -191,7 +359,7 @@ class RoutingDispatcher:
                 f"close it before reopening on {dataset!r}",
             )
         worker = int(self.ring.node_for(dataset))
-        envelope = self.pool.call(worker, message)
+        envelope = self._forward(worker, "open", message)
         if envelope.get("ok"):
             with self._lock:
                 self._placements[name] = (worker, dataset)
@@ -219,7 +387,7 @@ class RoutingDispatcher:
                 f"unknown session {session!r}; open it first",
             )
         worker = placement[0]
-        envelope = self.pool.call(worker, message)
+        envelope = self._forward(worker, cmd, message)
         with self._lock:
             self._routed += 1
         if cmd == "close" and (

@@ -28,6 +28,8 @@ from typing import Callable, Iterator
 from ..core.pipeline import PipelineConfig
 from ..errors import ServiceError
 from ..frontend.session import DBWipesSession
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
 from .cache import DatasetCatalog, PreprocessCache
 
 
@@ -100,6 +102,25 @@ class SessionManager:
         self._sessions: OrderedDict[str, ManagedSession] = OrderedDict()
         self._lru_evictions = 0
         self._ttl_evictions = 0
+        # Shared-registry mirrors of the ad-hoc counters above. The open
+        # gauge moves by deltas (not ``set(len)``) so several managers in
+        # one process — tests, embedded servers — share it correctly.
+        reg = obs_registry()
+        self._m_open = reg.gauge(
+            "dbwipes_sessions_open", help="Live sessions in this process."
+        )
+        self._m_requests = reg.counter(
+            "dbwipes_session_requests_total",
+            help="Session-scoped requests served (borrow count).",
+        )
+        self._m_lru = reg.counter(
+            "dbwipes_session_lru_evictions_total",
+            help="Sessions evicted by the LRU bound.",
+        )
+        self._m_ttl = reg.counter(
+            "dbwipes_session_ttl_evictions_total",
+            help="Sessions reaped by TTL expiry.",
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -132,9 +153,12 @@ class SessionManager:
             )
             managed = ManagedSession(name, dataset, session, now)
             self._sessions[name] = managed
+            self._m_open.inc()
             while len(self._sessions) > self.max_sessions:
                 evicted_name, __ = self._sessions.popitem(last=False)
                 self._lru_evictions += 1
+                self._m_lru.inc()
+                self._m_open.dec()
                 if evicted_name == name:  # cannot happen (just appended)
                     break
             return managed
@@ -163,6 +187,8 @@ class SessionManager:
         managed = self.get(name)
         with managed.lock:
             managed.requests += 1
+            if obs_enabled():
+                self._m_requests.inc()
             yield managed.session
 
     def close(self, name: str) -> None:
@@ -172,6 +198,7 @@ class SessionManager:
                 raise ServiceError(
                     f"unknown session {name!r}", kind="UnknownSession"
                 )
+            self._m_open.dec()
 
     def evict_expired(self) -> int:
         """Reap TTL-expired sessions now; returns how many were dropped."""
@@ -237,4 +264,6 @@ class SessionManager:
         for name in expired:
             del self._sessions[name]
             self._ttl_evictions += 1
+            self._m_ttl.inc()
+            self._m_open.dec()
         return len(expired)

@@ -35,6 +35,8 @@ import threading
 from typing import Any, Callable
 
 from ..errors import ServiceError
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
 from .cache import DatasetCatalog
 from .protocol import error_response
 
@@ -52,8 +54,18 @@ def _worker_main(
     ttl_seconds: float | None,
 ) -> None:
     """Worker process entry: a (recv, dispatch, send) loop until EOF."""
+    from ..obs import flags as obs_flags
+    from ..obs import trace as obs_trace_mod
     from .handlers import dispatch
     from .sessions import SessionManager
+
+    # A fresh telemetry slate: under ``fork`` the child inherits the
+    # parent's registry and trace buffer as they stood at spawn time,
+    # and reporting those inherited values again would double-count them
+    # in the cluster merge. Under ``spawn`` these are no-ops.
+    obs_registry().clear()
+    obs_trace_mod.tracer().clear()
+    obs_flags.reset_from_env()
 
     catalog = (
         catalog_factory()
@@ -75,7 +87,7 @@ def _worker_main(
             break
         token, message = item
         try:
-            envelope = dispatch(manager, message)
+            envelope = dispatch(manager, message, role="worker")
         except BaseException as error:  # noqa: BLE001 — dispatch shields, belt and braces
             envelope = error_response(
                 message.get("id") if isinstance(message, dict) else None,
@@ -122,6 +134,31 @@ class WorkerHandle:
         self.call_timeout = call_timeout
         self.requests = 0
         self.restarts = 0
+        # Parent-side failure telemetry: these counters live in the
+        # front-end process (where crashes/timeouts are *observed*) and
+        # join the cluster merge through the router's own snapshot.
+        reg = obs_registry()
+        labels = {"worker": str(index)}
+        self._m_requests = reg.counter(
+            "dbwipes_worker_requests_total",
+            labels=labels,
+            help="Requests forwarded to a worker process.",
+        )
+        self._m_respawns = reg.counter(
+            "dbwipes_worker_respawns_total",
+            labels=labels,
+            help="Worker processes respawned after a crash.",
+        )
+        self._m_timeouts = reg.counter(
+            "dbwipes_worker_timeouts_total",
+            labels=labels,
+            help="Forwarded requests that hit the call timeout.",
+        )
+        self._m_crashed = reg.counter(
+            "dbwipes_worker_crashed_requests_total",
+            labels=labels,
+            help="Forwarded requests failed by a worker crash.",
+        )
         #: Guards the connection, the pending map, and the generation
         #: counter (sends are serialized; only the reader thread recvs).
         self._lock = threading.Lock()
@@ -208,12 +245,15 @@ class WorkerHandle:
             self._next_token += 1
             self._pending[token] = pending
             self.requests += 1
+            if obs_enabled():
+                self._m_requests.inc()
             try:
                 self._conn.send((token, message))
             except (BrokenPipeError, OSError):
                 # The reader thread handles the respawn on EOF; this
                 # call just reports the crash.
                 self._pending.pop(token, None)
+                self._m_crashed.inc()
                 return error_response(
                     request_id,
                     "WorkerCrashed",
@@ -224,6 +264,7 @@ class WorkerHandle:
             return pending.envelope
         with self._lock:
             self._pending.pop(token, None)
+        self._m_timeouts.inc()
         return error_response(
             request_id,
             "WorkerTimeout",
@@ -252,6 +293,9 @@ class WorkerHandle:
             self._pending.clear()
             self.restarts += 1
             self._spawn_locked()
+        self._m_respawns.inc()
+        if stranded:
+            self._m_crashed.inc(len(stranded))
         for pending in stranded:
             pending.envelope = error_response(
                 pending.request_id,

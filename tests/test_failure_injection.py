@@ -173,6 +173,7 @@ class TestWorkerFailure:
 
         from repro.cli import BOOTSTRAP_QUERIES
         from repro.errors import ServiceError
+        from repro.obs import registry
         from repro.service import DBWipesServer, ServiceClient
 
         server = DBWipesServer(port=0, workers=2)
@@ -183,6 +184,18 @@ class TestWorkerFailure:
             worker = info["worker"]
             handle = server.pool.workers[worker]
             old_pid = handle.process.pid
+
+            # The crash/respawn counters live in the front-end process
+            # (this one): read them before the kill, assert the deltas.
+            labels = {"worker": str(worker)}
+            m_respawns = registry().counter(
+                "dbwipes_worker_respawns_total", labels=labels
+            )
+            m_crashed = registry().counter(
+                "dbwipes_worker_crashed_requests_total", labels=labels
+            )
+            respawns_before = m_respawns.value
+            crashed_before = m_crashed.value
 
             client.execute(BOOTSTRAP_QUERIES["intel"])
             handle.process.kill()
@@ -221,6 +234,22 @@ class TestWorkerFailure:
 
             stats = client.stats()
             assert stats["per_worker"][worker]["restarts"] >= 1
+
+            # The failure made it into the telemetry registry: one
+            # respawn and at least one request failed by the crash...
+            assert m_respawns.value >= respawns_before + 1
+            assert m_crashed.value >= crashed_before + 1
+            # ...and both surface in the cluster-merged metrics the
+            # ``metrics`` command exposes.
+            merged = client.metrics()["merged"]
+            totals: dict[str, float] = {}
+            for metric in merged["metrics"]:
+                if metric["kind"] == "counter":
+                    totals[metric["name"]] = (
+                        totals.get(metric["name"], 0.0) + metric["value"]
+                    )
+            assert totals["dbwipes_worker_respawns_total"] >= 1
+            assert totals["dbwipes_worker_crashed_requests_total"] >= 1
             client.close()
         finally:
             server.stop()

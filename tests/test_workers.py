@@ -96,6 +96,25 @@ class TestWorkerPool:
             if not envelope["ok"]:
                 assert envelope["error"]["kind"] == "WorkerTimeout"
 
+    def test_timeouts_increment_the_worker_counter(self):
+        from repro.obs import registry
+
+        counter = registry().counter(
+            "dbwipes_worker_timeouts_total", labels={"worker": "0"}
+        )
+        before = counter.value
+        observed = 0
+        with WorkerPool(1, call_timeout=0.0) as pool:
+            for i in range(5):
+                envelope = pool.call(0, {"id": i, "cmd": "ping"}, timeout=0.0)
+                if not envelope["ok"]:
+                    assert envelope["error"]["kind"] == "WorkerTimeout"
+                    observed += 1
+        # Zero patience over five calls: at least one must have timed
+        # out, and the counter moved once per timeout envelope returned.
+        assert observed >= 1
+        assert counter.value == before + observed
+
 
 class TestRoutingDispatcher:
     @pytest.fixture()
@@ -187,6 +206,70 @@ class TestRoutingDispatcher:
         envelope = router.handle({"id": 14, "cmd": "frobnicate"})
         assert not envelope["ok"]
         assert envelope["error"]["kind"] == "ProtocolError"
+
+    def test_stats_merge_sums_not_averages(self, router):
+        # Sessions land on the shards their datasets hash to; the
+        # cluster stats must sum the per-worker cache counters and
+        # recompute the hit rate from the sums (averaging per-worker
+        # rates is wrong under skew).
+        for i, dataset in enumerate(("intel", "fec")):
+            router.handle(
+                {
+                    "id": 20 + i,
+                    "cmd": "open",
+                    "args": {"name": f"s{i}", "dataset": dataset},
+                }
+            )
+        envelope = router.handle({"id": 30, "cmd": "stats"})
+        stats = envelope["result"]
+        cache = stats["preprocess_cache"]
+        summed = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+        for entry in stats["per_worker"]:
+            for key in summed:
+                summed[key] += entry["stats"]["preprocess_cache"][key]
+        for key, total in summed.items():
+            assert cache[key] == total
+        lookups = cache["hits"] + cache["misses"]
+        expected_rate = cache["hits"] / lookups if lookups else 0.0
+        assert cache["hit_rate"] == pytest.approx(expected_rate)
+        assert stats["worker_requests"] == sum(
+            entry["requests"] for entry in stats["per_worker"]
+        )
+
+    def test_metrics_scatter_gather(self, router):
+        router.handle(
+            {"id": 40, "cmd": "open", "args": {"name": "m", "dataset": "intel"}}
+        )
+        envelope = router.handle({"id": 41, "cmd": "metrics"})
+        assert envelope["ok"]
+        result = envelope["result"]
+        assert result["workers"] == 3
+        assert len(result["per_worker"]) == 3
+        names = {m["name"] for m in result["merged"]["metrics"]}
+        # Front-end counters and worker-process counters meet in one
+        # merged snapshot.
+        assert "dbwipes_worker_requests_total" in names
+        assert "dbwipes_requests_total" in names
+        assert "dbwipes_sessions_open" in names
+
+    def test_trace_scatter_gather(self, router):
+        envelope = router.handle(
+            {"id": 50, "cmd": "open", "args": {"name": "t", "dataset": "intel"}}
+        )
+        trace_id = envelope["trace"]
+        assert isinstance(trace_id, str)
+        gathered = router.handle(
+            {"id": 51, "cmd": "trace", "args": {"trace_id": trace_id}}
+        )
+        assert gathered["ok"]
+        result = gathered["result"]
+        assert result["trace_id"] == trace_id
+        names = [s["name"] for s in result["spans"]]
+        # The front-end span and the worker-process span joined up.
+        assert "server.open" in names
+        assert "router.open" in names
+        assert "worker.open" in names
+        assert {s["trace_id"] for s in result["spans"]} == {trace_id}
 
 
 class TestMultiWorkerParity:
