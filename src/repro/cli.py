@@ -11,7 +11,9 @@ provided bootstrap queries. This CLI is that experience in a terminal:
 * ``python -m repro serve`` — boot the multi-session TCP service
   (options: ``--host``, ``--port``, ``--max-sessions``, ``--ttl``,
   ``--workers``, ``--backend``, ``--partitions``,
-  ``--slow-threshold``);
+  ``--slow-threshold``; ``--async`` boots the admission-controlled
+  asyncio gateway with ``--max-inflight``, ``--max-queue``,
+  ``--exec-threads``, ``--rate``, ``--burst``);
 * ``python -m repro connect`` — the same interactive loop, but against
   a running server (``--host``, ``--port``, ``--session``,
   ``--dataset``, ``--script``);
@@ -467,13 +469,21 @@ def serve_main(argv: list[str]) -> int:
     into ``--partitions`` row blocks — byte-identical results).
     ``--slow-threshold S`` marks requests slower than S seconds in the
     slow-request log (exported via the env so workers inherit it).
+
+    ``--async`` boots the asyncio gateway instead of the threaded
+    server: same protocol, plus admission control (``--max-inflight`` /
+    ``--max-queue``, shedding excess load with ``ServerBusy`` +
+    ``retry_after``), per-connection token-bucket rate limiting
+    (``--rate`` / ``--burst`` heavy commands per second), a bounded
+    executor (``--exec-threads``), and streamed partial ``debug``
+    frames (``args: {"stream": true}``).
     """
     import os
 
     from .core.backend import BACKENDS
     from .core.pipeline import PipelineConfig
     from .obs import set_slow_threshold
-    from .service import DBWipesServer, SessionManager
+    from .service import AsyncDBWipesServer, DBWipesServer, SessionManager
 
     try:
         host = _flag_value(argv, "--host", "127.0.0.1")
@@ -484,6 +494,12 @@ def serve_main(argv: list[str]) -> int:
         backend = _flag_value(argv, "--backend", "in_process")
         partitions = int(_flag_value(argv, "--partitions", "1"))
         slow = _flag_value(argv, "--slow-threshold", "")
+        use_async = "--async" in argv
+        max_inflight = int(_flag_value(argv, "--max-inflight", "4"))
+        max_queue = int(_flag_value(argv, "--max-queue", "32"))
+        exec_threads = _flag_value(argv, "--exec-threads", "")
+        rate = _flag_value(argv, "--rate", "")
+        burst = _flag_value(argv, "--burst", "")
         if slow:
             # Via the environment so ``spawn``-started workers (which
             # re-import everything) see the same threshold.
@@ -495,14 +511,26 @@ def serve_main(argv: list[str]) -> int:
             )
         config = PipelineConfig(backend=backend, n_partitions=partitions)
         ttl_seconds = float(ttl) if ttl else None
+        gateway_kwargs = dict(
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            exec_threads=int(exec_threads) if exec_threads else None,
+            rate=float(rate) if rate else None,
+            burst=float(burst) if burst else None,
+        )
         if workers > 0:
-            server = DBWipesServer(
+            common = dict(
                 host=host,
                 port=port,
                 workers=workers,
                 config=config,
                 max_sessions=max_sessions,
                 ttl_seconds=ttl_seconds,
+            )
+            server = (
+                AsyncDBWipesServer(**common, **gateway_kwargs)
+                if use_async
+                else DBWipesServer(**common)
             )
             datasets = "per-worker demo catalogs"
         else:
@@ -511,20 +539,34 @@ def serve_main(argv: list[str]) -> int:
                 max_sessions=max_sessions,
                 ttl_seconds=ttl_seconds,
             )
-            server = DBWipesServer(manager, host=host, port=port)
+            server = (
+                AsyncDBWipesServer(manager, host=host, port=port, **gateway_kwargs)
+                if use_async
+                else DBWipesServer(manager, host=host, port=port)
+            )
             datasets = f"datasets: {', '.join(manager.catalog.names)}"
+        if use_async:
+            server.start()  # binds the port; the loop runs in a thread
     except (ReproError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     bound_host, bound_port = server.address
     tier = f"{workers} workers" if workers > 0 else "in-process"
+    front = (
+        f"async gateway, max_inflight={max_inflight}, max_queue={max_queue}"
+        if use_async
+        else "threaded"
+    )
     print(
         f"dbwipes service listening on {bound_host}:{bound_port} "
-        f"({tier}, backend={backend}, {datasets})",
+        f"({front}, {tier}, backend={backend}, {datasets})",
         flush=True,
     )
     try:
-        server.serve_forever()
+        if use_async:
+            server.join()
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:

@@ -32,7 +32,7 @@ Like the Ranker, two implementations produce byte-identical output:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -136,12 +136,20 @@ class PredicateMerger:
         pre: PreprocessResult,
         candidates: Sequence[CandidateSet],
         ranked: list[RankedPredicate],
+        on_round: Callable[[list[RankedPredicate]], None] | None = None,
     ) -> list[RankedPredicate]:
-        """Insert winning merges into ``ranked`` (returned re-sorted)."""
+        """Insert winning merges into ``ranked`` (returned re-sorted).
+
+        ``on_round``, when given, is called after each *accepted* merge
+        with a snapshot copy of the current ranked list — the streaming
+        hook behind partial ``debug`` frames. It observes only; the
+        merge computation (and therefore the final list) is byte-for-byte
+        identical with or without it.
+        """
         if self.algorithm == "per_rule":
-            ranked = self._run_per_rule(pre, candidates, ranked)
+            ranked = self._run_per_rule(pre, candidates, ranked, on_round)
         else:
-            ranked = self._run_batch(pre, candidates, ranked)
+            ranked = self._run_batch(pre, candidates, ranked, on_round)
         ranked.sort(key=lambda r: (-r.score, r.complexity, r.predicate.describe()))
         return ranked
 
@@ -154,6 +162,7 @@ class PredicateMerger:
         pre: PreprocessResult,
         candidates: Sequence[CandidateSet],
         ranked: list[RankedPredicate],
+        on_round: Callable[[list[RankedPredicate]], None] | None = None,
     ) -> list[RankedPredicate]:
         ranked = list(ranked)
         candidate_by_origin = {c.origin: c for c in candidates}
@@ -208,6 +217,8 @@ class PredicateMerger:
             drop = {head[merged_from[0]].predicate, head[merged_from[1]].predicate}
             ranked = [r for r in ranked if r.predicate not in drop]
             ranked.append(best_merge)
+            if on_round is not None:
+                on_round(list(ranked))
         return ranked
 
     def _score_pairs_batch(
@@ -291,6 +302,7 @@ class PredicateMerger:
         pre: PreprocessResult,
         candidates: Sequence[CandidateSet],
         ranked: list[RankedPredicate],
+        on_round: Callable[[list[RankedPredicate]], None] | None = None,
     ) -> list[RankedPredicate]:
         """The original rescan-all-pairs greedy loop (parity reference)."""
         ranked = list(ranked)
@@ -322,6 +334,8 @@ class PredicateMerger:
             drop = {head[merged_from[0]].predicate, head[merged_from[1]].predicate}
             ranked = [r for r in ranked if r.predicate not in drop]
             ranked.append(best_merge)
+            if on_round is not None:
+                on_round(list(ranked))
         return ranked
 
     def _score(

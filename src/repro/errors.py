@@ -80,11 +80,19 @@ class ServiceError(ReproError):
     """The serving tier failed (unknown session, server-side error, bad reply).
 
     When raised client-side for a server-reported error, ``kind`` carries
-    the remote exception class name (e.g. ``"SessionError"``).
+    the remote exception class name (e.g. ``"SessionError"``). For
+    ``kind == "ServerBusy"`` — the gateway shed the request under load —
+    ``retry_after`` carries the server's suggested backoff in seconds.
     """
 
-    def __init__(self, message: str, kind: str | None = None):
+    def __init__(
+        self,
+        message: str,
+        kind: str | None = None,
+        retry_after: float | None = None,
+    ):
         self.kind = kind
+        self.retry_after = retry_after
         super().__init__(message)
 
 

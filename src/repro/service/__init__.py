@@ -18,6 +18,11 @@ tier for the reproduction:
   to workers by consistent hash of the dataset id;
 * :mod:`~repro.service.server` — :class:`DBWipesServer`, a
   dependency-free threaded TCP server over either dispatcher;
+* :mod:`~repro.service.async_server` — :class:`AsyncDBWipesServer`, the
+  event-loop gateway: same protocol and dispatchers, plus admission
+  control (bounded in-flight + queue, ``ServerBusy`` shedding with
+  ``retry_after``), per-connection token-bucket rate limiting, and
+  streamed partial ``debug`` frames;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
   client used by tests, benchmarks, and ``python -m repro connect``.
 
@@ -27,6 +32,7 @@ registry, and the ``metrics``/``trace`` wire commands scatter-gather
 the per-process registries and span buffers into one cluster view.
 """
 
+from .async_server import AsyncDBWipesServer, TokenBucket
 from .cache import DatasetCatalog, PreprocessCache
 from .client import ServiceClient
 from .handlers import LocalDispatcher
@@ -37,7 +43,9 @@ from .sessions import ManagedSession, SessionManager
 from .workers import WorkerHandle, WorkerPool
 
 __all__ = [
+    "AsyncDBWipesServer",
     "DBWipesServer",
+    "TokenBucket",
     "DatasetCatalog",
     "HashRing",
     "LocalDispatcher",

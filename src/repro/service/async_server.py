@@ -1,0 +1,586 @@
+"""The asyncio gateway: one event loop, bounded work, shed the rest.
+
+The threaded server (:mod:`repro.service.server`) spends one OS thread
+per connection; past ~64 clients the GIL convoy between those threads
+costs more than the pipeline work itself and throughput *drops* as load
+rises. This module is the same wire protocol on an explicit capacity
+model instead:
+
+* **one event loop** accepts connections and parses frames — thousands
+  of idle or slow clients cost file descriptors, not threads;
+* **cheap commands** (:data:`~repro.service.handlers.CHEAP_COMMANDS`:
+  ``ping``/``stats``/``sessions``/``metrics``/``trace``) answer directly
+  on the loop — they stay fast no matter how saturated the heavy lane is;
+* **heavy commands** (anything that runs the pipeline, touches a dataset
+  or takes a session lock) pass *admission control*: at most
+  ``max_inflight`` execute at once — in a small bounded thread pool
+  (``workers=0``) or routed to worker processes over async pipe waits
+  (``workers=N``, where one stuck worker parks one coroutine and nothing
+  else) — and at most ``max_queue`` wait for a slot;
+* **everything beyond that is shed**, immediately, with a structured
+  ``ServerBusy`` envelope carrying ``retry_after`` — an EWMA over the
+  per-stage timing counters of recently served requests (see
+  ``protocol.busy_response``) — instead of silent unbounded queue growth;
+* **per-client token buckets** (``rate``/``burst``) bound any single
+  connection's heavy-command rate before it reaches the shared queue;
+* **streamed partial results**: a ``debug`` with ``args: {"stream":
+  true}`` emits ``partial`` frames with the ranked rules as merge rounds
+  survive, then the byte-identical final envelope (single-process mode;
+  routed mode degrades to the final envelope only).
+
+Still dependency-free: ``asyncio`` + ``concurrent.futures`` from the
+standard library, sharing every dispatcher, handler, and protocol byte
+with the threaded path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial as fn_partial
+
+from ..errors import ServiceError
+from ..obs import trace as obs_trace
+from ..obs.flags import enabled as obs_enabled
+from ..obs.metrics import registry as obs_registry
+from .handlers import CHEAP_COMMANDS, LocalDispatcher
+from .protocol import (
+    MAX_LINE_BYTES,
+    busy_response,
+    decode_line,
+    encode,
+    error_response,
+    partial_response,
+)
+from .sessions import SessionManager
+
+#: Fallback heavy-request service time (seconds) before the EWMA has a
+#: sample — only used for the very first shed's ``retry_after``.
+DEFAULT_SERVICE_SECONDS = 0.05
+
+#: ``retry_after`` is clamped into this range: long enough to matter,
+#: short enough that a well-behaved client retries within the demo.
+MIN_RETRY_AFTER = 0.01
+MAX_RETRY_AFTER = 5.0
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Heavy commands cost one token each; cheap commands are free. Runs
+    entirely on the event loop, so no locking is needed.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ServiceError("rate must be positive")
+        if burst < 1:
+            raise ServiceError("burst must be >= 1")
+        self.rate = float(rate)
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self.tokens = min(self.capacity, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if available; never blocks."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def seconds_until(self, n: float = 1.0) -> float:
+        """How long until ``n`` tokens will have accumulated."""
+        self._refill()
+        deficit = n - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class AsyncDBWipesServer:
+    """The admission-controlled asyncio front end.
+
+    Constructor mirrors :class:`~repro.service.server.DBWipesServer`
+    (same ``manager``/``workers``/``catalog_factory`` split, same
+    ``start()``/``stop()``/``address``/context-manager surface — the
+    loop runs in a daemon thread so tests and the CLI treat both servers
+    interchangeably) plus the gateway knobs:
+
+    ``max_inflight``
+        Heavy commands executing at once (executor threads or routed
+        worker calls). The GIL makes a *small* bound fastest.
+    ``max_queue``
+        Heavy commands allowed to wait for a slot; one more is shed.
+    ``exec_threads``
+        Size of the executor pool (``workers=0`` mode); defaults to
+        ``max_inflight``.
+    ``rate`` / ``burst``
+        Per-connection token bucket on heavy commands; ``rate=None``
+        disables rate limiting.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 0,
+        catalog_factory=None,
+        config=None,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        max_inflight: int = 4,
+        max_queue: int = 32,
+        exec_threads: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+    ):
+        if max_inflight < 1:
+            raise ServiceError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ServiceError("max_queue must be >= 0")
+        self.host = host
+        self.port = port
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.exec_threads = int(exec_threads) if exec_threads else self.max_inflight
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else (rate or 0) * 2 or 1.0
+        self.pool = None
+        if workers and int(workers) > 0:
+            from .router import RoutingDispatcher
+            from .workers import WorkerPool
+
+            self.manager = None
+            self.pool = WorkerPool(
+                int(workers),
+                catalog_factory=catalog_factory,
+                config=config,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl_seconds,
+            )
+            self.dispatcher = RoutingDispatcher(self.pool)
+        else:
+            self.manager = manager if manager is not None else SessionManager()
+            self.dispatcher = LocalDispatcher(self.manager)
+
+        # Admission state — touched only from the event loop.
+        self._inflight = 0
+        self._waiting = 0
+        self._ewma_heavy_seconds: float | None = None
+        self._shed_count = 0
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._bound: tuple[str, int] | None = None
+
+        reg = obs_registry()
+        self._g_inflight = reg.gauge(
+            "dbwipes_gateway_inflight",
+            help="Heavy commands currently executing in the async gateway.",
+        )
+        self._g_queue = reg.gauge(
+            "dbwipes_gateway_queue_depth",
+            help="Heavy commands waiting for an admission slot.",
+        )
+        self._m_shed_queue = reg.counter(
+            "dbwipes_shed_total",
+            labels={"reason": "queue_full"},
+            help="Requests shed by the async gateway, by reason.",
+        )
+        self._m_shed_rate = reg.counter(
+            "dbwipes_shed_total",
+            labels={"reason": "rate_limited"},
+            help="Requests shed by the async gateway, by reason.",
+        )
+        self._m_partials = reg.counter(
+            "dbwipes_partial_frames_total",
+            help="Streamed partial debug frames emitted.",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors DBWipesServer)
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolved even when created with port 0."""
+        if self._bound is None:
+            raise ServiceError("server is not started")
+        return self._bound
+
+    def start(self) -> tuple[str, int]:
+        """Run the event loop in a daemon thread; returns the address."""
+        if self._thread is None:
+            self._started.clear()
+            self._startup_error = None
+            self._thread = threading.Thread(
+                target=self._run_loop,
+                name="dbwipes-async-server",
+                daemon=True,
+            )
+            self._thread.start()
+            self._started.wait(timeout=30)
+            if self._startup_error is not None:
+                error = self._startup_error
+                self._thread.join(timeout=5)
+                self._thread = None
+                raise ServiceError(f"async server failed to start: {error}")
+        assert self._bound is not None
+        return self._bound
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._run_loop()
+
+    def join(self) -> None:
+        """Block until the serving thread exits (pair with :meth:`start`)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        """Stop accepting, drain the loop, stop workers."""
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "AsyncDBWipesServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — surfaced via start()
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._stop_event = asyncio.Event()
+        if self.pool is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.exec_threads,
+                thread_name_prefix="dbwipes-async-exec",
+            )
+        server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            # One full protocol line must fit the stream buffer; the +2
+            # leaves readline room to distinguish "too long" from "fits".
+            limit=MAX_LINE_BYTES + 2,
+            # Same listen backlog as the threaded server: hundreds of
+            # simultaneous connects must queue, not get kernel RSTs.
+            backlog=512,
+        )
+        sockname = server.sockets[0].getsockname()
+        self._bound = (str(sockname[0]), int(sockname[1]))
+        self._started.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol loop
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        bucket = (
+            TokenBucket(self.rate, self.burst) if self.rate is not None else None
+        )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # readline wraps a line-too-long overrun in ValueError.
+                    await self._write(
+                        writer,
+                        error_response(
+                            None,
+                            "ProtocolError",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes "
+                            "or is truncated; closing connection",
+                        ),
+                    )
+                    return
+                except (ConnectionError, OSError):
+                    return
+                if not line:
+                    return  # client closed the connection
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: nothing more will resynchronize it.
+                    return
+                if len(line) > MAX_LINE_BYTES:
+                    await self._write(
+                        writer,
+                        error_response(
+                            None,
+                            "ProtocolError",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes "
+                            "or is truncated; closing connection",
+                        ),
+                    )
+                    return
+                if line.strip() == b"":
+                    continue
+                envelope = await self._respond_to(line, writer, bucket)
+                if not await self._write(writer, envelope):
+                    return
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter, response: dict) -> bool:
+        data = encode(response)
+        if len(data) > MAX_LINE_BYTES:
+            # Never emit a line the client cannot frame (same contract as
+            # the threaded server's _write).
+            data = encode(
+                error_response(
+                    response.get("id"),
+                    "ProtocolError",
+                    f"response exceeds {MAX_LINE_BYTES} bytes; "
+                    "request fewer rows/points (max_rows / max_points)",
+                )
+            )
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _respond_to(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        bucket: TokenBucket | None,
+    ) -> dict:
+        try:
+            message = decode_line(line)
+        except Exception as error:
+            return error_response(None, type(error).__name__, str(error))
+        request_id = message.get("id") if isinstance(message, dict) else None
+        cmd = message.get("cmd") if isinstance(message, dict) else None
+
+        if isinstance(cmd, str) and cmd in CHEAP_COMMANDS:
+            # Cheap lane: answers on the loop regardless of heavy-lane
+            # saturation — liveness and telemetry stay observable under
+            # overload, which is exactly when they matter.
+            return await self._handle_cheap(message)
+        return await self._handle_heavy(message, request_id, cmd, writer, bucket)
+
+    # ------------------------------------------------------------------
+    # the two lanes
+    # ------------------------------------------------------------------
+
+    async def _handle_cheap(self, message: dict) -> dict:
+        if self.pool is not None:
+            # Routed mode: stats/metrics/... broadcast to the workers,
+            # but over async pipe waits — the loop never blocks.
+            return await self.dispatcher.handle_async(message)
+        return self.dispatcher.handle(message)
+
+    async def _handle_heavy(
+        self,
+        message: dict,
+        request_id,
+        cmd,
+        writer: asyncio.StreamWriter,
+        bucket: TokenBucket | None,
+    ) -> dict:
+        if bucket is not None and not bucket.try_take(1.0):
+            self._shed_count += 1
+            if obs_enabled():
+                self._m_shed_rate.inc()
+            return busy_response(
+                request_id,
+                "rate limit exceeded for this connection; slow down",
+                max(MIN_RETRY_AFTER, min(MAX_RETRY_AFTER, bucket.seconds_until(1.0))),
+            )
+        if self._inflight >= self.max_inflight and self._waiting >= self.max_queue:
+            self._shed_count += 1
+            if obs_enabled():
+                self._m_shed_queue.inc()
+            return busy_response(
+                request_id,
+                f"server at capacity ({self._inflight} in flight, "
+                f"{self._waiting} queued); retry shortly",
+                self._retry_after(),
+            )
+        assert self._slots is not None
+        self._waiting += 1
+        if obs_enabled():
+            self._g_queue.set(float(self._waiting))
+        trace_id, parent_id = obs_trace.from_wire(message)
+        with obs_trace.span(
+            "gateway.admit", trace_id=trace_id, parent_id=parent_id
+        ) as span:
+            span.set(queued=self._waiting, inflight=self._inflight)
+            await self._slots.acquire()
+        self._waiting -= 1
+        self._inflight += 1
+        if obs_enabled():
+            self._g_queue.set(float(self._waiting))
+            self._g_inflight.set(float(self._inflight))
+        start = time.perf_counter()
+        try:
+            envelope = await self._execute(message, request_id, cmd, writer)
+        finally:
+            self._inflight -= 1
+            self._slots.release()
+            if obs_enabled():
+                self._g_inflight.set(float(self._inflight))
+        self._observe_heavy(cmd, envelope, time.perf_counter() - start)
+        return envelope
+
+    async def _execute(
+        self, message: dict, request_id, cmd, writer: asyncio.StreamWriter
+    ) -> dict:
+        wants_stream = (
+            cmd == "debug"
+            and isinstance(message.get("args"), dict)
+            and bool(message["args"].get("stream"))
+        )
+        emit = (
+            self._make_emit(writer, request_id)
+            if wants_stream and self.dispatcher.supports_streaming
+            else None
+        )
+        if self.pool is not None:
+            # Worker processes do the CPU work; the pipe wait is async.
+            return await self.dispatcher.handle_async(message)
+        assert self._loop is not None and self._executor is not None
+        try:
+            return await self._loop.run_in_executor(
+                self._executor,
+                fn_partial(self.dispatcher.handle, message, emit),
+            )
+        except RuntimeError:
+            # Executor shut down mid-request (server stopping).
+            return error_response(
+                request_id, "ServiceError", "server is shutting down"
+            )
+
+    def _make_emit(self, writer: asyncio.StreamWriter, request_id):
+        """A thread-safe partial-frame sender for one streamed request.
+
+        Called from the executor thread mid-pipeline; each frame write is
+        marshalled onto the loop with ``call_soon_threadsafe``, which
+        FIFO-orders every partial ahead of the executor future's own
+        completion callback — so the client always sees partials strictly
+        before the terminating envelope.
+        """
+        assert self._loop is not None
+        loop = self._loop
+
+        def emit(seq: int, payload: dict) -> None:
+            data = encode(partial_response(request_id, seq, payload))
+            if len(data) > MAX_LINE_BYTES:
+                return  # partials are best-effort; never break the framing
+
+            def _send() -> None:
+                if not writer.is_closing():
+                    try:
+                        writer.write(data)
+                    except (ConnectionError, OSError):
+                        pass
+
+            try:
+                loop.call_soon_threadsafe(_send)
+            except RuntimeError:
+                return  # loop closed under the request
+            if obs_enabled():
+                self._m_partials.inc()
+
+        return emit
+
+    # ------------------------------------------------------------------
+    # the shedding signal
+    # ------------------------------------------------------------------
+
+    def _observe_heavy(self, cmd, envelope: dict, wall_seconds: float) -> None:
+        """Feed the retry_after EWMA from the request just served.
+
+        Uses the per-stage timing counters when the response carries
+        them (``debug`` reports their sum — the dominant cost under
+        load) and the gateway-observed wall time otherwise.
+        """
+        seconds = wall_seconds
+        if cmd == "debug" and envelope.get("ok"):
+            result = envelope.get("result")
+            timings = result.get("timings") if isinstance(result, dict) else None
+            if isinstance(timings, dict):
+                stage_sum = sum(
+                    float(v)
+                    for v in timings.values()
+                    if isinstance(v, (int, float))
+                )
+                if stage_sum > 0:
+                    seconds = stage_sum
+        previous = self._ewma_heavy_seconds
+        self._ewma_heavy_seconds = (
+            seconds if previous is None else 0.2 * seconds + 0.8 * previous
+        )
+
+    def _retry_after(self) -> float:
+        """Suggested backoff: expected backlog drain time, clamped."""
+        base = (
+            self._ewma_heavy_seconds
+            if self._ewma_heavy_seconds is not None
+            else DEFAULT_SERVICE_SECONDS
+        )
+        backlog = self._waiting + self._inflight + 1
+        estimate = base * backlog / max(1, self.max_inflight)
+        return max(MIN_RETRY_AFTER, min(MAX_RETRY_AFTER, estimate))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def gateway_stats(self) -> dict:
+        """Loop-side admission counters (racy reads, fine for tests)."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "waiting": self._waiting,
+            "shed": self._shed_count,
+            "ewma_heavy_seconds": self._ewma_heavy_seconds,
+        }

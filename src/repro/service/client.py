@@ -21,7 +21,8 @@ whose ``kind`` is the server-side exception class name.
 from __future__ import annotations
 
 import socket
-from typing import Any
+import time
+from typing import Any, Iterator
 
 from ..errors import ProtocolError, ServiceError
 from .protocol import MAX_LINE_BYTES, decode_line, encode
@@ -90,6 +91,71 @@ class ServiceClient:
 
     def call(self, cmd: str, session: str | None = None, **args: Any) -> Any:
         """Send one request and block for its response's ``result``."""
+        request_id = self._send(cmd, session, args)
+        while True:
+            response = self._read_frame(request_id)
+            if response.get("partial"):
+                # A streamed frame the caller did not ask to iterate
+                # (``stream=True`` passed through plain call()): drain it
+                # and keep waiting for the terminating envelope.
+                continue
+            return self._unwrap(response)
+
+    def call_with_retry(
+        self,
+        cmd: str,
+        session: str | None = None,
+        retries: int = 4,
+        max_backoff: float = 2.0,
+        **args: Any,
+    ) -> Any:
+        """Like :meth:`call`, but backs off and retries on ``ServerBusy``.
+
+        The async gateway sheds load with a structured ``ServerBusy``
+        error carrying ``retry_after`` — this helper honors that hint
+        (falling back to capped exponential backoff when absent) for up
+        to ``retries`` additional attempts before re-raising.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.call(cmd, session=session, **args)
+            except ServiceError as error:
+                if error.kind != "ServerBusy" or attempt >= retries:
+                    raise
+                delay = error.retry_after
+                if delay is None or delay <= 0:
+                    delay = 0.05 * (2**attempt)
+                time.sleep(min(float(delay), max_backoff))
+                attempt += 1
+
+    def stream(
+        self, cmd: str, session: str | None = None, **args: Any
+    ) -> Iterator[dict]:
+        """Send one request and iterate its response frames in order.
+
+        Yields each ``{"partial": True, "seq": ..., "result": ...}``
+        frame as it arrives, then ``{"partial": False, "result": ...}``
+        built from the terminating envelope, and stops. Server-reported
+        errors raise :class:`ServiceError` exactly as :meth:`call` does.
+        Pass ``stream=True`` in ``args`` to actually request partial
+        frames; without it the server sends only the final envelope and
+        this yields a single item.
+        """
+        request_id = self._send(cmd, session, args)
+        while True:
+            response = self._read_frame(request_id)
+            if response.get("partial"):
+                yield {
+                    "partial": True,
+                    "seq": response.get("seq"),
+                    "result": response.get("result"),
+                }
+                continue
+            yield {"partial": False, "result": self._unwrap(response)}
+            return
+
+    def _send(self, cmd: str, session: str | None, args: dict[str, Any]) -> int:
         self.connect()
         assert self._sock is not None and self._rfile is not None
         self._next_id += 1
@@ -108,6 +174,14 @@ class ServiceClient:
             )
         try:
             self._sock.sendall(payload)
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}")
+        return request_id
+
+    def _read_frame(self, request_id: int) -> dict:
+        assert self._rfile is not None
+        try:
             line = self._rfile.readline(MAX_LINE_BYTES + 1)
         except OSError as error:
             self.close()
@@ -124,10 +198,18 @@ class ServiceClient:
             )
         response = decode_line(line)
         if response.get("id") != request_id:
+            # The connection still has a response framed for some other
+            # id; any later call() would silently consume it and return
+            # the wrong result. Drop the connection so the next call
+            # starts on a clean stream (mirrors the truncated-line path).
+            self.close()
             raise ProtocolError(
                 f"response id {response.get('id')!r} does not match "
-                f"request id {request_id}"
+                f"request id {request_id}; connection closed"
             )
+        return response
+
+    def _unwrap(self, response: dict) -> Any:
         trace = response.get("trace")
         if isinstance(trace, str):
             self.last_trace = trace
@@ -137,6 +219,7 @@ class ServiceClient:
         raise ServiceError(
             str(error.get("message", "unknown server error")),
             kind=error.get("kind"),
+            retry_after=error.get("retry_after"),
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +310,19 @@ class ServiceClient:
     def debug(self, agg: str | None = None, max_rows: int | None = None) -> dict:
         """Run ranked provenance; returns the report payload."""
         return self.call("debug", agg=agg, max_rows=max_rows)
+
+    def debug_stream(
+        self, agg: str | None = None, max_rows: int | None = None
+    ) -> Iterator[dict]:
+        """Streamed ranked provenance: partial rankings, then the report.
+
+        Yields ``{"partial": True, "seq": n, "result": {...}}`` frames as
+        merge rounds survive server-side, then ``{"partial": False,
+        "result": <full report payload>}``. Requires the async gateway;
+        the threaded server (and routed workers) simply send the final
+        frame only.
+        """
+        return self.stream("debug", agg=agg, max_rows=max_rows, stream=True)
 
     def apply(self, index: int, max_rows: int | None = 200) -> dict:
         """Click the ranked predicate at 0-based ``index``."""

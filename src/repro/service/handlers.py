@@ -27,6 +27,12 @@ from .sessions import SessionManager
 DEFAULT_MAX_ROWS = 200
 DEFAULT_MAX_POINTS = 2000
 
+#: Commands cheap enough for the async gateway to answer directly on the
+#: event loop: read-only manager/registry lookups that never run the
+#: pipeline, touch a dataset, or block on a session lock. Everything
+#: else is "heavy" and goes through admission control + the executor.
+CHEAP_COMMANDS = frozenset({"ping", "stats", "sessions", "metrics", "trace"})
+
 
 class LocalDispatcher:
     """The single-process front end: every command runs in this process.
@@ -36,17 +42,26 @@ class LocalDispatcher:
     is indifferent to whether a worker pool sits behind it.
     """
 
+    #: Streamed partial ``debug`` frames work here (the pipeline runs in
+    #: this process, so ``emit_partial`` can observe merge rounds live).
+    supports_streaming = True
+
     def __init__(self, manager: SessionManager):
         self.manager = manager
 
-    def handle(self, message: dict) -> dict:
-        return dispatch(self.manager, message)
+    def handle(self, message: dict, emit_partial: Callable | None = None) -> dict:
+        return dispatch(self.manager, message, emit_partial=emit_partial)
 
     def close(self) -> None:
         """Nothing to shut down in-process."""
 
 
-def dispatch(manager: SessionManager, message: dict, role: str = "server") -> dict:
+def dispatch(
+    manager: SessionManager,
+    message: dict,
+    role: str = "server",
+    emit_partial: Callable[[int, dict], None] | None = None,
+) -> dict:
     """Handle one decoded request message; always returns an envelope.
 
     Instrumented entry point shared by the single-process server
@@ -56,6 +71,12 @@ def dispatch(manager: SessionManager, message: dict, role: str = "server") -> di
     root), bumps the per-command request counter/latency histogram, may
     land in the slow-request log, and has its trace id stamped on the
     response envelope so clients can fetch the span tree afterwards.
+
+    ``emit_partial(seq, payload)``, when given and the request is a
+    ``debug`` with ``args: {"stream": true}``, receives partial ranked
+    payloads as the pipeline produces them — the transport (async
+    gateway) turns each into a ``partial`` wire frame ahead of this
+    function's returned terminating envelope.
     """
     request_id = message.get("id") if isinstance(message, dict) else None
     raw_cmd = message.get("cmd") if isinstance(message, dict) else None
@@ -65,7 +86,7 @@ def dispatch(manager: SessionManager, message: dict, role: str = "server") -> di
     with obs_trace.span(
         f"{role}.{cmd_label}", trace_id=trace_id, parent_id=parent_id
     ) as span:
-        envelope = _dispatch_inner(manager, message, request_id)
+        envelope = _dispatch_inner(manager, message, request_id, emit_partial)
         if not envelope.get("ok"):
             span.set(error=envelope["error"]["kind"])
         stamped_trace = span.trace_id
@@ -94,7 +115,12 @@ def dispatch(manager: SessionManager, message: dict, role: str = "server") -> di
     return envelope
 
 
-def _dispatch_inner(manager: SessionManager, message: dict, request_id) -> dict:
+def _dispatch_inner(
+    manager: SessionManager,
+    message: dict,
+    request_id,
+    emit_partial: Callable[[int, dict], None] | None = None,
+) -> dict:
     try:
         cmd, session_name, args = protocol.validate_request(message)
         if cmd in _SERVER_HANDLERS:
@@ -107,7 +133,14 @@ def _dispatch_inner(manager: SessionManager, message: dict, request_id) -> dict:
                 result = {"closed": session_name}
             else:
                 with manager.borrow(session_name) as session:
-                    result = _SESSION_HANDLERS[cmd](session, args)
+                    if (
+                        cmd == "debug"
+                        and emit_partial is not None
+                        and bool(args.get("stream"))
+                    ):
+                        result = _debug_streaming(session, args, emit_partial)
+                    else:
+                        result = _SESSION_HANDLERS[cmd](session, args)
         else:
             known = sorted(set(_SERVER_HANDLERS) | set(_SESSION_HANDLERS))
             raise ProtocolError(f"unknown command {cmd!r} (known: {known})")
@@ -276,6 +309,29 @@ def _set_metric(session: DBWipesSession, args: dict) -> dict:
 def _debug(session: DBWipesSession, args: dict) -> dict:
     report = session.debug(args.get("agg"))
     return protocol.report_payload(report, args.get("max_rows"))
+
+
+def _debug_streaming(
+    session: DBWipesSession, args: dict, emit_partial: Callable[[int, dict], None]
+) -> dict:
+    """``debug`` with live partial frames: same report, early glimpses.
+
+    Emits one frame after the rank stage and one per surviving merge
+    round, each a sorted snapshot shaped like a miniature report. The
+    terminating envelope carries exactly what a non-streamed ``debug``
+    would have returned — byte-identical by the observe-only contract
+    of the ``on_partial`` hooks underneath.
+    """
+    seq = 0
+    max_rows = args.get("max_rows")
+
+    def on_partial(stage: str, ranked: list) -> None:
+        nonlocal seq
+        emit_partial(seq, protocol.partial_report_payload(ranked, stage, max_rows))
+        seq += 1
+
+    report = session.debug(args.get("agg"), on_partial=on_partial)
+    return protocol.report_payload(report, max_rows)
 
 
 def _apply(session: DBWipesSession, args: dict) -> dict:

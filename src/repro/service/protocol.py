@@ -28,6 +28,30 @@ respawned; reopen the session and retry) and one whose worker stopped
 answering gets ``WorkerTimeout`` — a routed request always ends in an
 envelope, never a hung connection.
 
+The async gateway (:mod:`repro.service.async_server`) adds two more
+wire forms. A request shed by admission control or per-client rate
+limiting gets a ``ServerBusy`` error envelope whose error object
+carries ``retry_after`` (seconds the client should back off before
+retrying)::
+
+    {"id": 7, "ok": false, "error": {"kind": "ServerBusy",
+                                     "message": "...",
+                                     "retry_after": 0.25}}
+
+And a ``debug`` request carrying ``args: {"stream": true}`` may receive
+zero or more *partial frames* before its final envelope — the current
+ranked rules after the rank stage and after each surviving merge
+round::
+
+    {"id": 7, "partial": true, "seq": 0, "result": {"stage": "rank",
+                                                    "predicates": [...],
+                                                    "n_predicates": 3}}
+
+Partial frames are marked ``"partial": true`` and carry no ``ok`` key;
+the exchange always ends with one ordinary final envelope that is
+byte-identical to the non-streamed response. Both additions are why
+``PROTOCOL_VERSION`` is 2.
+
 Telemetry rides the same framing. Every response envelope is stamped
 with a top-level ``"trace"`` string — the request's trace id — and a
 request *may* carry ``"trace": {"id": ..., "parent": ...}`` to join an
@@ -60,7 +84,9 @@ from ..frontend.scatter import ScatterData
 from ..frontend.selection import Brush
 
 #: Bumped on wire-incompatible changes; served by ``ping``.
-PROTOCOL_VERSION = 1
+#: 2 = ``ServerBusy``/``retry_after`` envelopes and streamed partial
+#: ``debug`` frames (the async gateway).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one wire line in either direction; longer lines are a
 #: protocol error (keeps a misbehaving peer from ballooning memory, and
@@ -156,6 +182,29 @@ def error_response(request_id: Any, kind: str, message: str) -> dict:
     return {"id": request_id, "ok": False, "error": {"kind": kind, "message": message}}
 
 
+def busy_response(request_id: Any, message: str, retry_after: float) -> dict:
+    """A ``ServerBusy`` load-shed envelope with a suggested backoff.
+
+    ``retry_after`` is the gateway's estimate (seconds) of when capacity
+    frees up, derived from the per-stage timing counters of recently
+    served requests — never a bare constant.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "kind": "ServerBusy",
+            "message": message,
+            "retry_after": round(float(retry_after), 4),
+        },
+    }
+
+
+def partial_response(request_id: Any, seq: int, result: Any) -> dict:
+    """One streamed partial frame (``"partial": true``, no ``ok`` key)."""
+    return {"id": request_id, "partial": True, "seq": int(seq), "result": result}
+
+
 def annotate_worker(envelope: dict, worker: int) -> dict:
     """Tag a success envelope's object result with the answering worker.
 
@@ -236,6 +285,28 @@ def report_payload(report: DebugReport, max_rows: int | None = None) -> dict:
         "n_dprime": report.n_dprime,
         "n_candidates": report.n_candidates,
         "timings": dict(report.timings),
+    }
+
+
+def partial_report_payload(
+    ranked: Iterable[RankedPredicate],
+    stage: str,
+    max_rows: int | None = None,
+) -> dict:
+    """A streamed snapshot of the ranked rules mid-``debug``.
+
+    ``stage`` names where the snapshot was taken (``"rank"`` or
+    ``"merge"``); the predicates are presented in final ranking order
+    (best first) so a client can render each frame as-is.
+    """
+    ordered = sorted(
+        ranked, key=lambda r: (-r.score, r.complexity, r.predicate.describe())
+    )
+    shown = len(ordered) if max_rows is None else min(len(ordered), int(max_rows))
+    return {
+        "stage": stage,
+        "predicates": [ranked_payload(r) for r in ordered[:shown]],
+        "n_predicates": len(ordered),
     }
 
 

@@ -22,11 +22,13 @@ rejected at the front without a worker round-trip, mirroring the
 
 from __future__ import annotations
 
+import asyncio
 import bisect
 import hashlib
 import threading
 import time
-from typing import Hashable, Sequence
+from contextlib import contextmanager
+from typing import Hashable, Iterator, Sequence
 
 from ..errors import ReproError
 from ..obs import logs as obs_logs
@@ -72,7 +74,20 @@ class HashRing:
 
 
 class RoutingDispatcher:
-    """Scatter-gather front end over a :class:`WorkerPool`."""
+    """Scatter-gather front end over a :class:`WorkerPool`.
+
+    Exposes both a blocking :meth:`handle` (threaded server) and an
+    awaitable :meth:`handle_async` (asyncio gateway). The two share all
+    validation, placement bookkeeping, and merge logic — only the
+    transport differs: blocking pipe waits versus coroutine-parking
+    :meth:`WorkerPool.call_async`, with broadcasts fanned out
+    concurrently via ``asyncio.gather`` on the async path.
+    """
+
+    #: Partial debug frames cannot cross the worker pipe (the pipeline
+    #: runs in another process); routed ``debug`` streams degrade to the
+    #: final envelope only.
+    supports_streaming = False
 
     def __init__(self, pool: WorkerPool, replicas: int = 64):
         self.pool = pool
@@ -84,7 +99,7 @@ class RoutingDispatcher:
 
     # -- dispatch entry ------------------------------------------------
 
-    def handle(self, message: dict) -> dict:
+    def handle(self, message: dict, emit_partial=None) -> dict:
         """Route one decoded request; always returns an envelope.
 
         The front end is the server accept path of the cluster: the root
@@ -93,6 +108,9 @@ class RoutingDispatcher:
         ``router.<cmd>`` span whose context crosses the pipe in the
         message's ``trace`` field, and the response envelope is stamped
         with the trace id so clients can recover the full span tree.
+
+        ``emit_partial`` is accepted for dispatcher-interface parity and
+        ignored: see :attr:`supports_streaming`.
         """
         request_id = message.get("id")
         try:
@@ -100,13 +118,49 @@ class RoutingDispatcher:
         except ReproError as error:
             kind = getattr(error, "kind", None) or type(error).__name__
             return protocol.error_response(request_id, kind, str(error))
+        with self._request_scope(cmd, session, message) as holder:
+            holder["envelope"] = self._dispatch(
+                request_id, cmd, session, args, message
+            )
+        return holder["envelope"]
+
+    async def handle_async(self, message: dict, emit_partial=None) -> dict:
+        """:meth:`handle`, awaitable: pipe waits park coroutines.
+
+        Identical envelopes, spans, and metrics — only the transport
+        changes, so one stuck worker stalls its caller's coroutine and
+        nothing else on the event loop.
+        """
+        request_id = message.get("id")
+        try:
+            cmd, session, args = protocol.validate_request(message)
+        except ReproError as error:
+            kind = getattr(error, "kind", None) or type(error).__name__
+            return protocol.error_response(request_id, kind, str(error))
+        with self._request_scope(cmd, session, message) as holder:
+            holder["envelope"] = await self._dispatch_async(
+                request_id, cmd, session, args, message
+            )
+        return holder["envelope"]
+
+    @contextmanager
+    def _request_scope(
+        self, cmd: str, session: str | None, message: dict
+    ) -> Iterator[dict]:
+        """The per-request span + metrics + slow-log + trace stamping.
+
+        Yields a one-slot holder dict; the caller stores the envelope
+        under ``"envelope"`` before the context exits.
+        """
+        holder: dict = {"envelope": None}
         trace_id, parent_id = obs_trace.from_wire(message)
         start = time.perf_counter()
         with obs_trace.span(
             f"server.{cmd}", trace_id=trace_id, parent_id=parent_id
         ) as span:
-            envelope = self._dispatch(request_id, cmd, session, args, message)
-            if not envelope.get("ok"):
+            yield holder
+            envelope = holder["envelope"]
+            if envelope is not None and not envelope.get("ok"):
                 error = envelope.get("error")
                 if isinstance(error, dict):
                     span.set(error=error.get("kind"))
@@ -126,34 +180,107 @@ class RoutingDispatcher:
                 help="Request wall seconds, by command and process role.",
             ).observe(seconds)
             obs_logs.maybe_log_slow(cmd, seconds, role="server", session=session)
-        if stamped_trace is not None:
-            envelope["trace"] = stamped_trace
-        return envelope
+        if stamped_trace is not None and holder["envelope"] is not None:
+            holder["envelope"]["trace"] = stamped_trace
 
     def _dispatch(
         self, request_id, cmd: str, session: str | None, args: dict, message: dict
     ) -> dict:
         if cmd == "ping":
-            return protocol.ok_response(
-                request_id,
-                {
-                    "pong": True,
-                    "version": protocol.PROTOCOL_VERSION,
-                    "workers": len(self.pool),
-                },
-            )
+            return self._pong(request_id)
         if cmd == "stats":
-            return self._stats(request_id, message)
+            return self._merge_stats(request_id, self._broadcast("stats", message))
         if cmd == "sessions":
-            return self._sessions(request_id, message)
+            return self._merge_sessions(
+                request_id, self._broadcast("sessions", message)
+            )
         if cmd == "metrics":
-            return self._metrics(request_id, message)
+            return self._merge_metrics(
+                request_id, self._broadcast("metrics", message)
+            )
         if cmd == "trace":
-            return self._trace(request_id, message, args)
+            resolved = self._trace_resolve(request_id, message, args)
+            if isinstance(resolved, dict):
+                return resolved
+            trace_id, spans, dropped, explicit = resolved
+            return self._merge_trace(
+                request_id,
+                trace_id,
+                spans,
+                dropped,
+                self._broadcast("trace", explicit),
+            )
         if cmd == "open":
-            return self._open(request_id, message, args)
+            checked = self._open_check(request_id, args)
+            if isinstance(checked, dict):
+                return checked
+            name, dataset, worker = checked
+            envelope = self._forward(worker, "open", message)
+            return self._open_finish(envelope, worker, name, dataset)
         if cmd in _SESSION_HANDLERS:
-            return self._route_session(request_id, cmd, session, message)
+            checked = self._route_check(request_id, cmd, session)
+            if isinstance(checked, dict):
+                return checked
+            envelope = self._forward(checked, cmd, message)
+            return self._route_finish(envelope, cmd, session, checked)
+        return self._unknown_command(request_id, cmd)
+
+    async def _dispatch_async(
+        self, request_id, cmd: str, session: str | None, args: dict, message: dict
+    ) -> dict:
+        if cmd == "ping":
+            return self._pong(request_id)
+        if cmd == "stats":
+            return self._merge_stats(
+                request_id, await self._broadcast_async("stats", message)
+            )
+        if cmd == "sessions":
+            return self._merge_sessions(
+                request_id, await self._broadcast_async("sessions", message)
+            )
+        if cmd == "metrics":
+            return self._merge_metrics(
+                request_id, await self._broadcast_async("metrics", message)
+            )
+        if cmd == "trace":
+            resolved = self._trace_resolve(request_id, message, args)
+            if isinstance(resolved, dict):
+                return resolved
+            trace_id, spans, dropped, explicit = resolved
+            return self._merge_trace(
+                request_id,
+                trace_id,
+                spans,
+                dropped,
+                await self._broadcast_async("trace", explicit),
+            )
+        if cmd == "open":
+            checked = self._open_check(request_id, args)
+            if isinstance(checked, dict):
+                return checked
+            name, dataset, worker = checked
+            envelope = await self._forward_async(worker, "open", message)
+            return self._open_finish(envelope, worker, name, dataset)
+        if cmd in _SESSION_HANDLERS:
+            checked = self._route_check(request_id, cmd, session)
+            if isinstance(checked, dict):
+                return checked
+            envelope = await self._forward_async(checked, cmd, message)
+            return self._route_finish(envelope, cmd, session, checked)
+        return self._unknown_command(request_id, cmd)
+
+    def _pong(self, request_id) -> dict:
+        return protocol.ok_response(
+            request_id,
+            {
+                "pong": True,
+                "version": protocol.PROTOCOL_VERSION,
+                "workers": len(self.pool),
+            },
+        )
+
+    @staticmethod
+    def _unknown_command(request_id, cmd: str) -> dict:
         known = sorted(set(_SERVER_HANDLERS) | set(_SESSION_HANDLERS))
         return protocol.error_response(
             request_id, "ProtocolError", f"unknown command {cmd!r} (known: {known})"
@@ -179,9 +306,27 @@ class RoutingDispatcher:
             self._forward(index, cmd, message) for index in range(len(self.pool))
         ]
 
+    async def _forward_async(self, worker: int, cmd: str, message: dict) -> dict:
+        """:meth:`_forward` without blocking the event loop."""
+        with obs_trace.span(f"router.{cmd}", worker=worker) as span:
+            context = obs_trace.wire_context(span)
+            forwarded = {**message, "trace": context} if context else message
+            return await self.pool.call_async(worker, forwarded)
+
+    async def _broadcast_async(self, cmd: str, message: dict) -> list[dict]:
+        """All workers concurrently; envelopes still in worker order."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self._forward_async(index, cmd, message)
+                    for index in range(len(self.pool))
+                )
+            )
+        )
+
     # -- server-scoped fan-out -----------------------------------------
 
-    def _stats(self, request_id, message: dict) -> dict:
+    def _merge_stats(self, request_id, envelopes: list[dict]) -> dict:
         """Worker stats merged into true cluster totals.
 
         Every per-worker counter is *summed* and the cache hit rate is
@@ -190,7 +335,6 @@ class RoutingDispatcher:
         99%-hit worker serving 10× the traffic of a 50%-hit worker must
         dominate the cluster rate).
         """
-        envelopes = self._broadcast("stats", message)
         per_worker = []
         sessions = 0
         hits = misses = evictions = entries = 0
@@ -241,10 +385,10 @@ class RoutingDispatcher:
             },
         )
 
-    def _sessions(self, request_id, message: dict) -> dict:
+    def _merge_sessions(self, request_id, envelopes: list[dict]) -> dict:
         """Every worker's session list, each entry tagged with its worker."""
         merged = []
-        for index, envelope in enumerate(self._broadcast("sessions", message)):
+        for index, envelope in enumerate(envelopes):
             if not envelope.get("ok"):
                 continue
             for info in envelope["result"].get("sessions", []):
@@ -253,7 +397,7 @@ class RoutingDispatcher:
                 merged.append(info)
         return protocol.ok_response(request_id, {"sessions": merged})
 
-    def _metrics(self, request_id, message: dict) -> dict:
+    def _merge_metrics(self, request_id, envelopes: list[dict]) -> dict:
         """Cluster exposition: scatter registries, merge correctly.
 
         Counters and gauges sum; histogram buckets sum; nothing is ever
@@ -265,7 +409,7 @@ class RoutingDispatcher:
         snapshots = [front]
         per_worker = []
         slow = list(obs_logs.logger().recent("slow_request"))
-        for index, envelope in enumerate(self._broadcast("metrics", message)):
+        for index, envelope in enumerate(envelopes):
             if envelope.get("ok"):
                 result = envelope["result"]
                 snapshot = result.get("merged")
@@ -288,13 +432,17 @@ class RoutingDispatcher:
             },
         )
 
-    def _trace(self, request_id, message: dict, args: dict) -> dict:
-        """One trace's spans gathered from the front end and all workers.
+    def _trace_resolve(
+        self, request_id, message: dict, args: dict
+    ) -> dict | tuple:
+        """Resolve the target trace id on the front end.
 
         The default trace id resolves *here* (most recently finished
         front-end trace, excluding the in-flight request's own) and the
         broadcast carries it explicitly, so every worker contributes the
-        spans it recorded for that exact trace.
+        spans it recorded for that exact trace. Returns an early
+        envelope when there is nothing to gather, else
+        ``(trace_id, front_spans, front_dropped, explicit_message)``.
         """
         tracer = obs_trace.tracer()
         trace_id = args.get("trace_id")
@@ -314,7 +462,14 @@ class RoutingDispatcher:
             **message,
             "args": {**args, "trace_id": trace_id},
         }
-        for envelope in self._broadcast("trace", explicit):
+        return trace_id, spans, dropped, explicit
+
+    def _merge_trace(
+        self, request_id, trace_id: str, spans: list, dropped: int,
+        envelopes: list[dict],
+    ) -> dict:
+        """Worker span contributions folded into the front end's."""
+        for envelope in envelopes:
             if not envelope.get("ok"):
                 continue
             result = envelope["result"]
@@ -332,7 +487,11 @@ class RoutingDispatcher:
 
     # -- session routing -----------------------------------------------
 
-    def _open(self, request_id, message: dict, args: dict) -> dict:
+    def _open_check(self, request_id, args: dict) -> dict | tuple[str, str, int]:
+        """Validate an ``open`` and pick its worker by dataset hash.
+
+        Returns an error envelope, or ``(name, dataset, worker)``.
+        """
         name = args.get("name")
         dataset = args.get("dataset")
         if not isinstance(name, str) or not name:
@@ -358,8 +517,12 @@ class RoutingDispatcher:
                 f"session {name!r} is open on dataset {placement[1]!r}; "
                 f"close it before reopening on {dataset!r}",
             )
-        worker = int(self.ring.node_for(dataset))
-        envelope = self._forward(worker, "open", message)
+        return name, dataset, int(self.ring.node_for(dataset))
+
+    def _open_finish(
+        self, envelope: dict, worker: int, name: str, dataset: str
+    ) -> dict:
+        """Record (or roll back) the placement an ``open`` produced."""
         if envelope.get("ok"):
             with self._lock:
                 self._placements[name] = (worker, dataset)
@@ -369,9 +532,13 @@ class RoutingDispatcher:
             self._drop_worker_placements(worker)
         return envelope
 
-    def _route_session(
-        self, request_id, cmd: str, session: str | None, message: dict
-    ) -> dict:
+    def _route_check(
+        self, request_id, cmd: str, session: str | None
+    ) -> dict | int:
+        """Resolve a session-scoped command's worker from its placement.
+
+        Returns an error envelope, or the owning worker index.
+        """
         if not session:
             return protocol.error_response(
                 request_id,
@@ -386,8 +553,12 @@ class RoutingDispatcher:
                 "UnknownSession",
                 f"unknown session {session!r}; open it first",
             )
-        worker = placement[0]
-        envelope = self._forward(worker, cmd, message)
+        return placement[0]
+
+    def _route_finish(
+        self, envelope: dict, cmd: str, session: str | None, worker: int
+    ) -> dict:
+        """Placement bookkeeping after a routed session command."""
         with self._lock:
             self._routed += 1
         if cmd == "close" and (

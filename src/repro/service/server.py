@@ -92,6 +92,9 @@ class _RequestHandler(socketserver.StreamRequestHandler):
 class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # socketserver's default listen backlog is 5: a hundred clients
+    # connecting at once get kernel RSTs before accept() ever runs.
+    request_queue_size = 512
 
     def __init__(self, address: tuple[str, int], dispatcher):
         super().__init__(address, _RequestHandler)

@@ -44,6 +44,7 @@ class ManagedSession:
         "created_at",
         "last_used",
         "requests",
+        "busy",
     )
 
     def __init__(
@@ -56,6 +57,11 @@ class ManagedSession:
         self.created_at = now
         self.last_used = now
         self.requests = 0
+        #: In-flight ``borrow()`` count (manager-lock protected). Evicting
+        #: a session while a request runs on it would orphan that request
+        #: and surface as UnknownSession on the next one, so eviction
+        #: (LRU and TTL alike) skips sessions with ``busy > 0``.
+        self.busy = 0
 
     def info(self, now: float) -> dict:
         """A JSON-safe summary for the ``sessions`` command."""
@@ -153,14 +159,30 @@ class SessionManager:
             )
             managed = ManagedSession(name, dataset, session, now)
             self._sessions[name] = managed
-            self._m_open.inc()
+            self._mirror_open(+1)
             while len(self._sessions) > self.max_sessions:
-                evicted_name, __ = self._sessions.popitem(last=False)
-                self._lru_evictions += 1
-                self._m_lru.inc()
-                self._m_open.dec()
-                if evicted_name == name:  # cannot happen (just appended)
+                # Least-recently-used first, but never a session with an
+                # in-flight borrow: evicting one would orphan the running
+                # request (it finishes on a session the manager no longer
+                # knows, and the client's next request gets
+                # UnknownSession). Take the next-least-recent idle one;
+                # if every other session is busy, temporarily exceed the
+                # bound rather than break an in-flight request.
+                victim = next(
+                    (
+                        candidate
+                        for candidate in self._sessions.values()
+                        if candidate.busy == 0 and candidate.name != name
+                    ),
+                    None,
+                )
+                if victim is None:
                     break
+                del self._sessions[victim.name]
+                self._lru_evictions += 1
+                if obs_enabled():
+                    self._m_lru.inc()
+                self._mirror_open(-1)
             return managed
 
     def get(self, name: str) -> ManagedSession:
@@ -183,13 +205,29 @@ class SessionManager:
 
         Bumps LRU recency and the request counter, then yields the
         underlying :class:`DBWipesSession` under its per-session lock.
+        While borrowed, the session is marked busy so no eviction path
+        (LRU or TTL) can drop it out from under the running request.
         """
-        managed = self.get(name)
-        with managed.lock:
-            managed.requests += 1
-            if obs_enabled():
-                self._m_requests.inc()
-            yield managed.session
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            managed = self._sessions.get(name)
+            if managed is None:
+                raise ServiceError(
+                    f"unknown session {name!r}; open it first",
+                    kind="UnknownSession",
+                )
+            self._touch_locked(managed, now)
+            managed.busy += 1
+        try:
+            with managed.lock:
+                managed.requests += 1
+                if obs_enabled():
+                    self._m_requests.inc()
+                yield managed.session
+        finally:
+            with self._lock:
+                managed.busy -= 1
 
     def close(self, name: str) -> None:
         """Drop a session explicitly."""
@@ -198,7 +236,7 @@ class SessionManager:
                 raise ServiceError(
                     f"unknown session {name!r}", kind="UnknownSession"
                 )
-            self._m_open.dec()
+            self._mirror_open(-1)
 
     def evict_expired(self) -> int:
         """Reap TTL-expired sessions now; returns how many were dropped."""
@@ -253,17 +291,35 @@ class SessionManager:
         managed.last_used = now
         self._sessions.move_to_end(managed.name)
 
+    def _mirror_open(self, delta: int) -> None:
+        """Move the shared open-sessions gauge, if telemetry is on.
+
+        Every registry mirror in this class goes through an
+        ``obs_enabled()`` gate — uniformly, so that toggling the kill
+        switch mid-process cannot desync the gauge from the eviction
+        counters (they all freeze and thaw together).
+        """
+        if not obs_enabled():
+            return
+        if delta >= 0:
+            self._m_open.inc(delta)
+        else:
+            self._m_open.dec(-delta)
+
     def _expire_locked(self, now: float) -> int:
         if self.ttl_seconds is None:
             return 0
         expired = [
             name
             for name, managed in self._sessions.items()
-            if now - managed.last_used > self.ttl_seconds
+            # A busy session is never reaped mid-request, even when its
+            # TTL has lapsed; it becomes eligible again once released.
+            if now - managed.last_used > self.ttl_seconds and managed.busy == 0
         ]
         for name in expired:
             del self._sessions[name]
             self._ttl_evictions += 1
-            self._m_ttl.inc()
-            self._m_open.dec()
+            if obs_enabled():
+                self._m_ttl.inc()
+            self._mirror_open(-1)
         return len(expired)

@@ -30,6 +30,7 @@ arguments must be picklable.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import threading
 from typing import Any, Callable
@@ -102,14 +103,26 @@ def _worker_main(
 
 
 class _Pending:
-    """One in-flight call: the caller's event and the response slot."""
+    """One in-flight call: the caller's event and the response slot.
 
-    __slots__ = ("request_id", "event", "envelope")
+    A blocking caller waits on ``event``; an asyncio caller additionally
+    passes a ``callback`` invoked (from the reader thread) on completion
+    so the envelope can be marshalled onto the event loop.
+    """
 
-    def __init__(self, request_id: Any):
+    __slots__ = ("request_id", "event", "envelope", "callback")
+
+    def __init__(self, request_id: Any, callback: Callable[[dict], None] | None = None):
         self.request_id = request_id
         self.event = threading.Event()
         self.envelope: dict | None = None
+        self.callback = callback
+
+    def complete(self, envelope: dict) -> None:
+        self.envelope = envelope
+        self.event.set()
+        if self.callback is not None:
+            self.callback(envelope)
 
 
 class WorkerHandle:
@@ -225,21 +238,16 @@ class WorkerHandle:
 
     # -- request path --------------------------------------------------
 
-    def call(self, message: dict, timeout: float | None = None) -> dict:
-        """Send one request to the worker and wait for its envelope.
+    def _begin_call(self, message: dict, pending: _Pending) -> int | dict:
+        """Register ``pending`` and send; an error envelope on failure.
 
-        Never raises for worker failures: a dead worker yields a
-        ``WorkerCrashed`` envelope (and a respawn), an unresponsive one a
-        ``WorkerTimeout`` envelope — the connection is never left hung.
+        Returns the pipe token on success so the caller can cancel the
+        pending entry on its own timeout path.
         """
-        if timeout is None:
-            timeout = self.call_timeout
-        request_id = message.get("id") if isinstance(message, dict) else None
-        pending = _Pending(request_id)
         with self._lock:
             if self._closed:
                 return error_response(
-                    request_id, "WorkerCrashed", "worker pool is closed"
+                    pending.request_id, "WorkerCrashed", "worker pool is closed"
                 )
             token = self._next_token
             self._next_token += 1
@@ -255,13 +263,13 @@ class WorkerHandle:
                 self._pending.pop(token, None)
                 self._m_crashed.inc()
                 return error_response(
-                    request_id,
+                    pending.request_id,
                     "WorkerCrashed",
                     f"worker {self.index} is down; it is being restarted",
                 )
-        if pending.event.wait(timeout):
-            assert pending.envelope is not None
-            return pending.envelope
+        return token
+
+    def _timed_out(self, token: int, request_id, timeout) -> dict:
         with self._lock:
             self._pending.pop(token, None)
         self._m_timeouts.inc()
@@ -270,6 +278,59 @@ class WorkerHandle:
             "WorkerTimeout",
             f"worker {self.index} did not answer within {timeout}s",
         )
+
+    def call(self, message: dict, timeout: float | None = None) -> dict:
+        """Send one request to the worker and wait for its envelope.
+
+        Never raises for worker failures: a dead worker yields a
+        ``WorkerCrashed`` envelope (and a respawn), an unresponsive one a
+        ``WorkerTimeout`` envelope — the connection is never left hung.
+        """
+        if timeout is None:
+            timeout = self.call_timeout
+        request_id = message.get("id") if isinstance(message, dict) else None
+        pending = _Pending(request_id)
+        outcome = self._begin_call(message, pending)
+        if isinstance(outcome, dict):
+            return outcome
+        if pending.event.wait(timeout):
+            assert pending.envelope is not None
+            return pending.envelope
+        return self._timed_out(outcome, request_id, timeout)
+
+    async def call_async(self, message: dict, timeout: float | None = None) -> dict:
+        """Awaitable twin of :meth:`call` for the asyncio gateway.
+
+        The reader thread still does the waiting; completion is
+        marshalled onto the running loop via ``call_soon_threadsafe``,
+        so a stuck worker parks one coroutine instead of one OS thread —
+        and can never stall the event loop itself. Failure semantics are
+        identical to :meth:`call` (envelopes, never exceptions).
+        """
+        if timeout is None:
+            timeout = self.call_timeout
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def deliver(envelope: dict) -> None:
+            def _resolve() -> None:
+                if not future.done():
+                    future.set_result(envelope)
+
+            try:
+                loop.call_soon_threadsafe(_resolve)
+            except RuntimeError:
+                pass  # the loop shut down before the worker answered
+
+        request_id = message.get("id") if isinstance(message, dict) else None
+        pending = _Pending(request_id, callback=deliver)
+        outcome = self._begin_call(message, pending)
+        if isinstance(outcome, dict):
+            return outcome
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            return self._timed_out(outcome, request_id, timeout)
 
     def _read_loop(self, conn, generation: int) -> None:
         while True:
@@ -282,8 +343,7 @@ class WorkerHandle:
             with self._lock:
                 pending = self._pending.pop(token, None)
             if pending is not None:
-                pending.envelope = envelope
-                pending.event.set()
+                pending.complete(envelope)
         # The pipe closed: orderly shutdown, a superseded generation, or
         # a crash. Only the crash respawns and fails the in-flight calls.
         with self._lock:
@@ -297,13 +357,14 @@ class WorkerHandle:
         if stranded:
             self._m_crashed.inc(len(stranded))
         for pending in stranded:
-            pending.envelope = error_response(
-                pending.request_id,
-                "WorkerCrashed",
-                f"worker {self.index} exited while handling the request; "
-                "it has been restarted — reopen the session and retry",
+            pending.complete(
+                error_response(
+                    pending.request_id,
+                    "WorkerCrashed",
+                    f"worker {self.index} exited while handling the request; "
+                    "it has been restarted — reopen the session and retry",
+                )
             )
-            pending.event.set()
 
     def stats(self) -> dict:
         """Process-level counters (requests, restarts, liveness)."""
@@ -369,6 +430,20 @@ class WorkerPool:
     def broadcast(self, message: dict) -> list[dict]:
         """The same request to every worker; envelopes in worker order."""
         return [worker.call(message) for worker in self.workers]
+
+    async def call_async(
+        self, index: int, message: dict, timeout: float | None = None
+    ) -> dict:
+        """Awaitable :meth:`call` — parks a coroutine, not a thread."""
+        return await self.workers[index].call_async(message, timeout=timeout)
+
+    async def broadcast_async(self, message: dict) -> list[dict]:
+        """Concurrent :meth:`broadcast`; envelopes still in worker order."""
+        return list(
+            await asyncio.gather(
+                *(worker.call_async(message) for worker in self.workers)
+            )
+        )
 
     def stats(self) -> list[dict]:
         """Per-worker process counters, in worker order."""

@@ -1,0 +1,310 @@
+"""The asyncio gateway: cheap/heavy lanes, admission control, per-client
+rate limiting, streamed partial ``debug`` frames, and routed async mode.
+
+Reuses the deterministic "toy" dataset from ``test_service`` so every
+socket round-trip stays fast; the saturation/throughput comparison at
+scale lives in ``benchmarks/test_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import PipelineConfig
+from repro.db import Database
+from repro.errors import ServiceError
+from repro.service import (
+    AsyncDBWipesServer,
+    DBWipesServer,
+    ServiceClient,
+    SessionManager,
+    TokenBucket,
+)
+from repro.service.protocol import PROTOCOL_VERSION
+
+from test_service import TOY_SQL, run_debug_cycle, toy_catalog, toy_table
+
+
+def strip_timings(payload: dict) -> dict:
+    """Report payloads minus the wall-clock ``timings`` block.
+
+    Timings differ between any two runs; everything else must be
+    byte-identical across servers and across streamed/non-streamed
+    paths."""
+    out = dict(payload)
+    out.pop("timings", None)
+    return out
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(strip_timings(payload), sort_keys=True)
+
+
+def routed_toy_catalog():
+    """Module-level so worker processes can reconstruct it."""
+    return toy_catalog(toy_table())
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()  # burst exhausted
+        assert bucket.seconds_until() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)  # long idle: tokens cap at burst, not 1000
+        for _ in range(3):
+            assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_seconds_until_is_zero_when_affordable(self):
+        bucket = TokenBucket(rate=5.0, burst=5.0, clock=_FakeClock())
+        assert bucket.seconds_until() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Local (executor) mode
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shared_table():
+    return toy_table()
+
+
+@pytest.fixture(scope="module")
+def async_server(shared_table):
+    manager = SessionManager(
+        catalog=toy_catalog(shared_table),
+        config=PipelineConfig(merge_predicates=True),
+    )
+    with AsyncDBWipesServer(manager, port=0, max_inflight=2, max_queue=16) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def async_client(async_server):
+    host, port = async_server.address
+    with ServiceClient(host, port, session="async-rt", timeout=60) as c:
+        yield c
+
+
+class TestCheapLane:
+    def test_ping_reports_protocol_v2(self, async_client):
+        pong = async_client.ping()
+        assert pong["version"] == PROTOCOL_VERSION
+        assert pong.get("workers", 0) == 0
+
+    def test_stats_sessions_metrics_answer(self, async_client):
+        stats = async_client.stats()
+        assert "sessions" in stats
+        assert isinstance(async_client.sessions(), list)
+        metrics = async_client.metrics()
+        assert "merged" in metrics
+
+
+class TestFullSurfaceParity:
+    def test_async_debug_cycle_matches_threaded_server(self, shared_table):
+        """The same scripted cycle must produce the same payload (minus
+        wall-clock timings) through either front end."""
+        config = PipelineConfig(merge_predicates=True)
+
+        def fresh_manager():
+            return SessionManager(
+                catalog=toy_catalog(shared_table), config=config
+            )
+
+        with DBWipesServer(fresh_manager(), port=0) as threaded:
+            with ServiceClient(*threaded.address, session="t") as c:
+                threaded_report = run_debug_cycle(c)
+        with AsyncDBWipesServer(fresh_manager(), port=0) as gateway:
+            with ServiceClient(*gateway.address, session="a") as c:
+                async_report = run_debug_cycle(c)
+        assert canonical(async_report) == canonical(threaded_report)
+        assert async_report["n_predicates"] >= 1
+
+
+class TestStreamingDebug:
+    def test_partial_frames_then_identical_final(self, async_client):
+        run_debug_cycle(async_client)  # plain debug to set up state
+        baseline = async_client.debug()
+        frames = list(async_client.debug_stream())
+        partials = [f for f in frames if f["partial"]]
+        # At least the post-rank snapshot streams; merge rounds add more.
+        assert len(partials) >= 1
+        assert frames[-1]["partial"] is False
+        assert all(not f["partial"] for f in frames[-1:])
+        # seq is contiguous from 0 and stages are the documented ones.
+        assert [f["seq"] for f in partials] == list(range(len(partials)))
+        assert partials[0]["result"]["stage"] == "rank"
+        assert {f["result"]["stage"] for f in partials} <= {"rank", "merge"}
+        for frame in partials:
+            snapshot = frame["result"]
+            assert snapshot["n_predicates"] == len(snapshot["predicates"])
+            scores = [p["score"] for p in snapshot["predicates"]]
+            assert scores == sorted(scores, reverse=True)
+        # The terminating frame is byte-identical to a plain debug().
+        assert canonical(frames[-1]["result"]) == canonical(baseline)
+
+    def test_plain_call_with_stream_flag_drains_partials(self, async_client):
+        run_debug_cycle(async_client)
+        baseline = async_client.debug()
+        # call() (not stream()) with stream=True: partial frames arrive
+        # on the wire but the client drains them and returns the final
+        # envelope — no desync, same answer.
+        result = async_client.call("debug", stream=True)
+        assert canonical(result) == canonical(baseline)
+        assert async_client.ping()["version"] == PROTOCOL_VERSION
+
+
+class TestAdmissionControl:
+    def test_saturated_gateway_sheds_and_recovers(self, shared_table):
+        release = threading.Event()
+        catalog = toy_catalog(shared_table)
+
+        def build_slow() -> Database:
+            assert release.wait(20.0)
+            db = Database()
+            db.create_table(
+                "s",
+                {"g": [0, 1], "v": [1.0, 2.0]},
+                types={"g": "int", "v": "float"},
+            )
+            return db
+
+        catalog.register(
+            "slow", build_slow, bootstrap="SELECT g, avg(v) AS a FROM s GROUP BY g"
+        )
+        manager = SessionManager(catalog=catalog)
+        with AsyncDBWipesServer(
+            manager, port=0, max_inflight=1, max_queue=0
+        ) as srv:
+            host, port = srv.address
+
+            def occupy():
+                with ServiceClient(host, port, session="slowpoke") as c:
+                    # Retry in case a probe request holds the slot first.
+                    c.call_with_retry(
+                        "open", dataset="slow", name="slowpoke", retries=100
+                    )
+
+            holder = threading.Thread(target=occupy)
+            holder.start()
+            try:
+                # Wait until the slow open actually holds the only slot.
+                deadline = time.monotonic() + 10.0
+                while (
+                    srv.gateway_stats()["inflight"] < 1
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.005)
+                assert srv.gateway_stats()["inflight"] == 1
+                with ServiceClient(host, port, session="shed-me") as c:
+                    with pytest.raises(ServiceError) as excinfo:
+                        c.open("toy")  # heavy: saturated + zero queue
+                    shed = excinfo.value
+                    assert shed.kind == "ServerBusy"
+                    assert shed.retry_after is not None and shed.retry_after > 0
+                    # The cheap lane answers even while the heavy lane is
+                    # saturated — liveness under overload.
+                    assert c.ping()["version"] == PROTOCOL_VERSION
+                    release.set()
+                    holder.join(10.0)
+                    assert not holder.is_alive()
+                    # With capacity back, the busy-aware retry helper
+                    # finishes the request instead of surfacing the shed.
+                    opened = c.call_with_retry(
+                        "open", dataset="toy", name="shed-me"
+                    )
+                    assert opened["dataset"] == "toy"
+            finally:
+                release.set()
+                holder.join(10.0)
+            assert srv.gateway_stats()["shed"] >= 1
+            assert srv.gateway_stats()["inflight"] == 0
+            assert srv.gateway_stats()["waiting"] == 0
+
+    def test_idle_gateway_with_zero_queue_admits_requests(self, shared_table):
+        """max_queue=0 means "never wait", not "never work": a free slot
+        must still admit (regression — the shed gate used to fire on
+        queue depth alone)."""
+        manager = SessionManager(catalog=toy_catalog(shared_table))
+        with AsyncDBWipesServer(
+            manager, port=0, max_inflight=1, max_queue=0
+        ) as srv:
+            with ServiceClient(*srv.address, session="solo") as c:
+                c.open("toy")
+                c.execute(TOY_SQL)
+            assert srv.gateway_stats()["shed"] == 0
+
+
+class TestRateLimiting:
+    def test_per_connection_bucket_sheds_second_heavy_call(self, shared_table):
+        manager = SessionManager(catalog=toy_catalog(shared_table))
+        with AsyncDBWipesServer(
+            manager, port=0, rate=0.001, burst=1.0
+        ) as srv:
+            host, port = srv.address
+            with ServiceClient(host, port, session="greedy") as c:
+                c.open("toy")  # spends the only token
+                with pytest.raises(ServiceError) as excinfo:
+                    c.execute(TOY_SQL)
+                assert excinfo.value.kind == "ServerBusy"
+                assert excinfo.value.retry_after > 0
+                # Cheap commands are never rate limited.
+                assert c.ping()["version"] == PROTOCOL_VERSION
+            # A fresh connection gets a fresh bucket.
+            with ServiceClient(host, port, session="greedy") as c2:
+                c2.execute(TOY_SQL)
+
+
+class TestRoutedAsyncGateway:
+    def test_routed_cycle_matches_and_streaming_degrades(self):
+        pytest.importorskip("multiprocessing")
+        with AsyncDBWipesServer(
+            port=0, workers=2, catalog_factory=routed_toy_catalog
+        ) as srv:
+            host, port = srv.address
+            with ServiceClient(host, port, session="routed", timeout=120) as c:
+                pong = c.ping()
+                assert pong["version"] == PROTOCOL_VERSION
+                assert pong["workers"] == 2
+                report = run_debug_cycle(c)
+                assert report["n_predicates"] >= 1
+                # Workers do not stream partials: debug_stream degrades
+                # gracefully to the terminating envelope only.
+                frames = list(c.debug_stream())
+                assert [f["partial"] for f in frames] == [False]
+                assert canonical(frames[0]["result"]) == canonical(c.debug())
+                # Broadcast cheap commands merge across workers.
+                stats = c.stats()
+                assert stats["workers"] == 2
+                assert "merged" in c.metrics()

@@ -287,3 +287,109 @@ class TestWorkerFailure:
         envelope = pool.call(0, {"id": 9, "cmd": "ping"})
         assert not envelope["ok"]
         assert envelope["error"]["kind"] == "WorkerCrashed"
+
+
+class TestGatewayFloodNeverHangs:
+    """Flooding the async gateway far past ``max_inflight`` must resolve
+    every request — a result or a structured ``ServerBusy`` with a
+    ``retry_after`` hint, never a hung connection."""
+
+    @staticmethod
+    def _flood(host, port, n_threads, per_thread, cmd_args):
+        """Hammer the gateway; returns (successes, sheds). Any other
+        outcome (timeout, protocol error, hang) propagates and fails."""
+        import threading
+
+        from repro.errors import ServiceError
+        from repro.service import ServiceClient
+
+        successes = [0] * n_threads
+        sheds = [0] * n_threads
+        errors = []
+
+        def worker(slot):
+            try:
+                with ServiceClient(host, port, timeout=30) as client:
+                    for _ in range(per_thread):
+                        try:
+                            client.call(**cmd_args)
+                            successes[slot] += 1
+                        except ServiceError as error:
+                            if error.kind != "ServerBusy":
+                                raise
+                            assert error.retry_after is not None
+                            assert error.retry_after > 0
+                            sheds[slot] += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+            assert not thread.is_alive(), "flood request hung"
+        assert errors == [], f"non-ServerBusy failures: {errors!r}"
+        return sum(successes), sum(sheds)
+
+    @staticmethod
+    def _toy_manager():
+        from repro.service import SessionManager
+        from test_service import toy_catalog, toy_table
+
+        return SessionManager(catalog=toy_catalog(toy_table()))
+
+    def test_local_flood_past_max_inflight_resolves_everything(self):
+        from repro.service import AsyncDBWipesServer, ServiceClient
+
+        with AsyncDBWipesServer(
+            self._toy_manager(), port=0, max_inflight=1, max_queue=2
+        ) as srv:
+            host, port = srv.address
+            with ServiceClient(host, port, session="seed") as seed:
+                seed.open("toy")
+            ok, shed = self._flood(
+                host,
+                port,
+                n_threads=8,
+                per_thread=6,
+                cmd_args={"cmd": "open", "session": "seed", "dataset": "toy",
+                          "name": "seed"},
+            )
+            assert ok + shed == 8 * 6  # every request accounted for
+            assert ok >= 1  # the gateway still did real work
+            stats = srv.gateway_stats()
+            assert stats["inflight"] == 0 and stats["waiting"] == 0
+            assert stats["shed"] >= shed  # loop-side count agrees
+
+    def test_routed_flood_through_worker_router_resolves_everything(self):
+        pytest.importorskip("multiprocessing")
+        from repro.service import AsyncDBWipesServer, ServiceClient
+        from test_async_service import routed_toy_catalog
+
+        with AsyncDBWipesServer(
+            port=0,
+            workers=2,
+            catalog_factory=routed_toy_catalog,
+            max_inflight=2,
+            max_queue=2,
+        ) as srv:
+            host, port = srv.address
+            with ServiceClient(host, port, session="seed") as seed:
+                seed.open("toy")
+            ok, shed = self._flood(
+                host,
+                port,
+                n_threads=8,
+                per_thread=4,
+                cmd_args={"cmd": "open", "session": "seed", "dataset": "toy",
+                          "name": "seed"},
+            )
+            assert ok + shed == 8 * 4
+            assert ok >= 1
+            # The cheap lane stayed live through the flood and reports a
+            # consistent cluster view.
+            with ServiceClient(host, port) as client:
+                assert client.ping()["workers"] == 2

@@ -382,3 +382,80 @@ class TestClusterAcceptance:
         reg.gauge("dbwipes_sessions_open")  # real kind, get-or-create
         with pytest.raises(ObservabilityError):
             reg.histogram("dbwipes_sessions_open")
+
+
+class TestSessionMetricsGating:
+    """All four SessionManager registry mirrors obey the obs flag
+    *together* — disabling observability must freeze the open gauge, the
+    request counter, and both eviction counters as one unit (regression:
+    the gauge and request counter used to keep moving while the eviction
+    counters were gated)."""
+
+    def _manager(self, clock):
+        from repro.db import Database
+        from repro.service import DatasetCatalog, SessionManager
+
+        def build():
+            db = Database()
+            db.create_table(
+                "t",
+                {"g": [0, 0, 1, 1], "v": [1.0, 2.0, 3.0, 4.0]},
+                types={"g": "int", "v": "float"},
+            )
+            return db
+
+        catalog = DatasetCatalog()
+        catalog.register("tiny", build)
+        return SessionManager(
+            catalog=catalog, max_sessions=1, ttl_seconds=10.0, clock=clock
+        )
+
+    @staticmethod
+    def _mirror_values():
+        reg = registry()
+        return (
+            reg.gauge("dbwipes_sessions_open").value,
+            reg.counter("dbwipes_session_requests_total").value,
+            reg.counter("dbwipes_session_lru_evictions_total").value,
+            reg.counter("dbwipes_session_ttl_evictions_total").value,
+        )
+
+    def _exercise_all_paths(self, manager, clock):
+        """Drive open, borrow, LRU eviction, and TTL expiry once each."""
+        manager.open("a", "tiny")
+        with manager.borrow("a"):
+            pass
+        manager.open("b", "tiny")  # max_sessions=1: LRU-evicts "a"
+        clock.advance(100.0)
+        assert manager.evict_expired() == 1  # TTL-reaps "b"
+
+    def test_disabled_freezes_every_mirror(self):
+        class Clock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+            def advance(self, s):
+                self.now += s
+
+        clock = Clock()
+        manager = self._manager(clock)
+        before = self._mirror_values()
+        set_enabled(False)
+        try:
+            self._exercise_all_paths(manager, clock)
+            assert self._mirror_values() == before
+        finally:
+            set_enabled(True)
+        # The ad-hoc stats counters are unconditional either way.
+        stats = manager.stats()
+        assert stats["lru_evictions"] == 1
+        assert stats["ttl_evictions"] == 1
+        # Re-enabled: every mirror moves again, in step.
+        self._exercise_all_paths(manager, clock)
+        after = self._mirror_values()
+        assert after[0] == before[0]  # open +2, evicted -2 → net zero
+        assert after[1] == before[1] + 1
+        assert after[2] == before[2] + 1
+        assert after[3] == before[3] + 1

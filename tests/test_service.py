@@ -24,7 +24,13 @@ from repro.service import (
     ServiceClient,
     SessionManager,
 )
-from repro.service.protocol import brush_from_json, decode_line, encode, jsonify
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    brush_from_json,
+    decode_line,
+    encode,
+    jsonify,
+)
 
 TOY_SQL = "SELECT g, avg(v) AS avg_v FROM toy GROUP BY g ORDER BY g"
 
@@ -147,7 +153,7 @@ class TestProtocolRoundTrip:
 
     def test_full_command_surface(self, client, reference_report):
         pong = client.ping()
-        assert pong["pong"] is True and pong["version"] == 1
+        assert pong["pong"] is True and pong["version"] == PROTOCOL_VERSION
 
         opened = client.open("toy")
         assert opened["dataset"] == "toy"
@@ -482,3 +488,92 @@ class TestSharedPreprocessCacheRegression:
         # "a" was evicted: recomputing it is a miss.
         cache.get_or_compute("a", lambda: object())  # type: ignore[arg-type]
         assert cache.stats()["misses"] == 4
+
+
+class TestClientDesync:
+    """Regression: a response-id mismatch must drop the connection.
+
+    If the client raised but kept the socket, the stream still held a
+    framed response for some other id — the *next* call() would consume
+    it and silently return the wrong command's result."""
+
+    @staticmethod
+    def _fake_server(scripts):
+        """A one-thread TCP server answering each connection with canned
+        response lines (ignoring what the client actually sent)."""
+        import threading
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+
+        def run():
+            for canned in scripts:
+                conn, _ = listener.accept()
+                with conn:
+                    rfile = conn.makefile("rb")
+                    rfile.readline()  # consume the request line
+                    for frame in canned:
+                        conn.sendall(encode(frame))
+                    rfile.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return listener, thread
+
+    def test_mismatched_id_closes_connection_before_raising(self):
+        scripts = [
+            # Connection 1: answer request id 1 with a stale envelope for
+            # id 999, then leave the real id-1 envelope framed behind it.
+            [
+                {"id": 999, "ok": True, "result": {"stale": True}},
+                {"id": 1, "ok": True, "result": {"fresh": True}},
+            ],
+            # Connection 2: the client's id counter keeps climbing, so a
+            # clean reconnect issues request id 2.
+            [{"id": 2, "ok": True, "result": {"reconnected": True}}],
+        ]
+        listener, thread = self._fake_server(scripts)
+        try:
+            client = ServiceClient("127.0.0.1", listener.getsockname()[1],
+                                   timeout=5.0)
+            with pytest.raises(ProtocolError, match="connection closed"):
+                client.call("ping")
+            # The poisoned connection is gone — the stale id-1 envelope
+            # can never be misread as a later call's answer.
+            assert client._sock is None and client._rfile is None
+            # And the next call transparently reconnects and succeeds.
+            assert client.call("ping") == {"reconnected": True}
+            client.close()
+            thread.join(5.0)
+        finally:
+            listener.close()
+
+    def test_truncated_line_still_closes_connection(self):
+        """The pre-existing truncation path keeps the same contract."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        import threading
+
+        def run():
+            conn, _ = listener.accept()
+            with conn:
+                rfile = conn.makefile("rb")
+                rfile.readline()
+                conn.sendall(b'{"id": 1, "ok": true')  # no newline, then EOF
+                rfile.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", listener.getsockname()[1],
+                                   timeout=5.0)
+            with pytest.raises((ProtocolError, ServiceError)):
+                client.call("ping")
+            assert client._sock is None
+            thread.join(5.0)
+        finally:
+            listener.close()

@@ -148,3 +148,119 @@ class TestSessionSelectionModes:
         session.select_results([0])
         ids = [o.form_id for o in session.error_form()]
         assert ids[0] == "too_high"  # max leads with too-high
+
+
+# ----------------------------------------------------------------------
+# Eviction vs. in-flight requests (regression: the LRU/TTL paths used to
+# evict sessions that a concurrent request was still borrowing).
+# ----------------------------------------------------------------------
+
+def _tiny_catalog():
+    from repro.service import DatasetCatalog
+
+    def build():
+        db = Database()
+        db.create_table(
+            "t",
+            {"g": [0, 0, 1, 1], "v": [1.0, 2.0, 3.0, 4.0]},
+            types={"g": "int", "v": "float"},
+        )
+        return db
+
+    catalog = DatasetCatalog()
+    catalog.register(
+        "tiny", build, bootstrap="SELECT g, avg(v) AS avg_v FROM t GROUP BY g"
+    )
+    return catalog
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestEvictionSkipsBusySessions:
+    def test_lru_evicts_next_least_recent_instead_of_busy(self):
+        from repro.service import SessionManager
+
+        manager = SessionManager(catalog=_tiny_catalog(), max_sessions=2)
+        manager.open("a", "tiny")
+        manager.open("b", "tiny")
+        with manager.borrow("a"):
+            manager.get("b")  # "a" is now the LRU candidate — but busy
+            manager.open("c", "tiny")
+            assert "a" in manager  # survived: it has an in-flight borrow
+            assert "b" not in manager  # the next-least-recent idle victim
+            assert "c" in manager
+
+    def test_bound_temporarily_exceeded_when_all_others_busy(self):
+        from repro.service import SessionManager
+
+        manager = SessionManager(catalog=_tiny_catalog(), max_sessions=1)
+        manager.open("a", "tiny")
+        with manager.borrow("a"):
+            manager.open("b", "tiny")
+            # No idle victim: the bound stretches instead of orphaning "a".
+            assert len(manager) == 2
+        # Once "a" is idle again, the next open resumes normal eviction.
+        manager.open("c", "tiny")
+        assert len(manager) == 1
+        assert "c" in manager
+
+    def test_ttl_reaper_skips_borrowed_session(self):
+        from repro.service import SessionManager
+
+        clock = _FakeClock()
+        manager = SessionManager(
+            catalog=_tiny_catalog(), ttl_seconds=10.0, clock=clock
+        )
+        manager.open("a", "tiny")
+        with manager.borrow("a") as session:
+            clock.advance(100.0)
+            assert manager.evict_expired() == 0  # busy: not reaped
+            # The in-flight request still runs against a live session.
+            session.execute("SELECT g, avg(v) AS avg_v FROM t GROUP BY g")
+        assert manager.evict_expired() == 1  # idle + expired: reaped now
+
+    def test_concurrent_open_flood_never_evicts_inflight_session(self):
+        import threading
+
+        from repro.service import SessionManager
+
+        manager = SessionManager(catalog=_tiny_catalog(), max_sessions=2)
+        manager.open("hot", "tiny")
+        started = threading.Event()
+        release = threading.Event()
+        failures = []
+
+        def hold():
+            try:
+                with manager.borrow("hot") as session:
+                    started.set()
+                    release.wait(5.0)
+                    # The session must still answer after the flood.
+                    session.execute(
+                        "SELECT g, avg(v) AS avg_v FROM t GROUP BY g"
+                    )
+            except Exception as exc:  # pragma: no cover - regression path
+                failures.append(exc)
+                started.set()
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        assert started.wait(5.0)
+        # Flood the manager far past its bound while "hot" is borrowed.
+        for i in range(20):
+            manager.open(f"filler-{i}", "tiny")
+        assert "hot" in manager  # the busy session was never a victim
+        release.set()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert failures == []
+        assert len(manager) == manager.max_sessions
