@@ -10,10 +10,15 @@ provided bootstrap queries. This CLI is that experience in a terminal:
   non-interactively (useful for demos, docs, and tests);
 * ``python -m repro serve`` — boot the multi-session TCP service
   (options: ``--host``, ``--port``, ``--max-sessions``, ``--ttl``,
-  ``--workers``, ``--backend``, ``--partitions``,
-  ``--slow-threshold``; ``--async`` boots the admission-controlled
-  asyncio gateway with ``--max-inflight``, ``--max-queue``,
-  ``--exec-threads``, ``--rate``, ``--burst``);
+  ``--workers``, ``--backend``, ``--partitions``, ``--data-dir``
+  for the durable storage tier, ``--slow-threshold``; ``--async``
+  boots the admission-controlled asyncio gateway with
+  ``--max-inflight`` (a count, or ``auto`` to self-tune),
+  ``--max-queue``, ``--exec-threads``, ``--rate``, ``--burst``);
+* ``python -m repro store`` — manage the durable columnar tier:
+  ``store import <dataset> --data-dir D [--chunk-rows N]`` persists a
+  demo dataset as memory-mapped table directories; ``store inspect
+  --data-dir D`` prints the layout from the manifests alone;
 * ``python -m repro connect`` — the same interactive loop, but against
   a running server (``--host``, ``--port``, ``--session``,
   ``--dataset``, ``--script``);
@@ -469,6 +474,11 @@ def serve_main(argv: list[str]) -> int:
     into ``--partitions`` row blocks — byte-identical results).
     ``--slow-threshold S`` marks requests slower than S seconds in the
     slow-request log (exported via the env so workers inherit it).
+    ``--data-dir D`` makes the catalog durable: datasets persist as
+    memory-mapped table directories under D and preprocess artifacts
+    under ``D/preprocess``, so a restarted server answers its first
+    ``debug()`` warm (exported via ``REPRO_DATA_DIR`` so workers
+    inherit it).
 
     ``--async`` boots the asyncio gateway instead of the threaded
     server: same protocol, plus admission control (``--max-inflight`` /
@@ -484,6 +494,7 @@ def serve_main(argv: list[str]) -> int:
     from .core.pipeline import PipelineConfig
     from .obs import set_slow_threshold
     from .service import AsyncDBWipesServer, DBWipesServer, SessionManager
+    from .service.cache import DATA_DIR_ENV
 
     try:
         host = _flag_value(argv, "--host", "127.0.0.1")
@@ -493,9 +504,11 @@ def serve_main(argv: list[str]) -> int:
         workers = int(_flag_value(argv, "--workers", "0"))
         backend = _flag_value(argv, "--backend", "in_process")
         partitions = int(_flag_value(argv, "--partitions", "1"))
+        data_dir = _flag_value(argv, "--data-dir", "")
         slow = _flag_value(argv, "--slow-threshold", "")
         use_async = "--async" in argv
-        max_inflight = int(_flag_value(argv, "--max-inflight", "4"))
+        inflight_raw = _flag_value(argv, "--max-inflight", "auto")
+        max_inflight = None if inflight_raw == "auto" else int(inflight_raw)
         max_queue = int(_flag_value(argv, "--max-queue", "32"))
         exec_threads = _flag_value(argv, "--exec-threads", "")
         rate = _flag_value(argv, "--rate", "")
@@ -505,6 +518,11 @@ def serve_main(argv: list[str]) -> int:
             # re-import everything) see the same threshold.
             os.environ["REPRO_SLOW_REQUEST_SECONDS"] = str(float(slow))
             set_slow_threshold(float(slow))
+        if data_dir:
+            # Same idiom: every catalog built after this point — the
+            # in-process one, or each forked worker's own — resolves the
+            # durable root from the environment.
+            os.environ[DATA_DIR_ENV] = data_dir
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown --backend {backend!r} (known: {list(BACKENDS)})"
@@ -553,10 +571,12 @@ def serve_main(argv: list[str]) -> int:
     bound_host, bound_port = server.address
     tier = f"{workers} workers" if workers > 0 else "in-process"
     front = (
-        f"async gateway, max_inflight={max_inflight}, max_queue={max_queue}"
+        f"async gateway, max_inflight={inflight_raw}, max_queue={max_queue}"
         if use_async
         else "threaded"
     )
+    if data_dir:
+        tier += f", data_dir={data_dir}"
     print(
         f"dbwipes service listening on {bound_host}:{bound_port} "
         f"({front}, {tier}, backend={backend}, {datasets})",
@@ -571,6 +591,60 @@ def serve_main(argv: list[str]) -> int:
         print("shutting down")
     finally:
         server.stop()
+    return 0
+
+
+def store_main(argv: list[str]) -> int:
+    """``python -m repro store`` — manage the durable columnar tier.
+
+    * ``store import <dataset> [--data-dir D] [--chunk-rows N]`` —
+      build a demo dataset and persist it as memory-mapped table
+      directories (idempotent: an existing persisted copy is kept);
+    * ``store inspect [--data-dir D]`` — print the durable layout as
+      JSON, reading only the manifests (no table data is touched).
+
+    ``--data-dir`` falls back to ``REPRO_DATA_DIR`` when omitted.
+    """
+    import json
+
+    from .errors import StorageError
+    from .service.cache import DatasetCatalog
+
+    if not argv or argv[0] in ("-h", "--help"):
+        print(store_main.__doc__)
+        return 0
+    action = argv[0]
+    data_dir = _flag_value(argv, "--data-dir", "") or None
+    try:
+        catalog = DatasetCatalog.with_demo_datasets(data_dir=data_dir)
+        if action == "import":
+            if len(argv) < 2 or argv[1].startswith("--"):
+                raise ReproError(
+                    "usage: store import <dataset> [--data-dir D]"
+                    " [--chunk-rows N]"
+                )
+            chunk = _flag_value(argv, "--chunk-rows", "")
+            db, created = catalog.import_dataset(
+                argv[1], chunk_rows=int(chunk) if chunk else None
+            )
+            verb = "imported" if created else "already persisted"
+            tables = ", ".join(
+                f"{t}({db.table(t).num_rows} rows)" for t in db.table_names
+            )
+            print(f"{verb} {argv[1]!r} under {catalog.data_dir}: {tables}")
+        elif action == "inspect":
+            if catalog.data_dir is None:
+                raise StorageError(
+                    "inspect needs a data dir (--data-dir or REPRO_DATA_DIR)"
+                )
+            print(json.dumps(catalog.storage_info(), indent=2))
+        else:
+            raise ReproError(
+                f"unknown store action {action!r}; try 'import' or 'inspect'"
+            )
+    except (ReproError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -667,6 +741,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv[0] == "store":
+        return store_main(argv[1:])
     if argv[0] == "connect":
         return connect_main(argv[1:])
     if argv[0] == "metrics":

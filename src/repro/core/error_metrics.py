@@ -157,3 +157,29 @@ def metric_from_form(form_id: str, **params) -> ErrorMetric:
 def available_metric_ids() -> tuple[str, ...]:
     """All registered error-form metric identifiers."""
     return tuple(sorted(_METRICS))
+
+
+def metric_spec(metric: ErrorMetric) -> dict | None:
+    """A JSON-safe parameter spec that round-trips through
+    :func:`metric_from_spec`, or ``None`` for unknown subclasses.
+
+    Used by the durable preprocess-artifact store: a persisted artifact
+    must rebuild the exact metric after a restart, so only the built-in
+    form metrics (whose behaviour is fully determined by their
+    parameters) are eligible — a user-defined subclass returns ``None``
+    and its results simply stay memory-only.
+    """
+    if _METRICS.get(type(metric).form_id) is not type(metric):
+        return None
+    spec: dict = {"form_id": metric.form_id, "combine": metric.combine}
+    if isinstance(metric, NotEqual):
+        spec["expected"] = metric.expected
+    else:
+        spec["threshold"] = metric.threshold
+    return spec
+
+
+def metric_from_spec(spec: dict) -> ErrorMetric:
+    """Rebuild a metric from a :func:`metric_spec` dict."""
+    params = {k: v for k, v in spec.items() if k != "form_id"}
+    return metric_from_form(spec["form_id"], **params)

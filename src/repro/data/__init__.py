@@ -8,7 +8,13 @@ labels the real data never had.
 
 from .anomalies import GroundTruth, explanation_quality, tid_set_quality
 from .fec import REATTRIBUTION_MEMO, FECConfig, generate_fec, walkthrough_query
-from .intel import WALKTHROUGH_QUERY, WINDOW_MINUTES, IntelConfig, generate_intel
+from .intel import (
+    WALKTHROUGH_QUERY,
+    WINDOW_MINUTES,
+    IntelConfig,
+    generate_intel,
+    intel_at_scale,
+)
 from .synthetic import SyntheticConfig, dirty_group_rows, generate_synthetic
 
 __all__ = [
@@ -24,6 +30,7 @@ __all__ = [
     "generate_fec",
     "generate_intel",
     "generate_synthetic",
+    "intel_at_scale",
     "tid_set_quality",
     "walkthrough_query",
 ]

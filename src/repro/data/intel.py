@@ -176,6 +176,24 @@ def generate_intel(config: IntelConfig | None = None) -> tuple[Table, GroundTrut
     return table, truth
 
 
+def intel_at_scale(scale: int = 1, **overrides) -> IntelConfig:
+    """An :class:`IntelConfig` sized to ``scale ×`` the default rows.
+
+    Scaling stretches the simulated duration — more readings per sensor
+    — rather than adding sensors, so group cardinality (and with it the
+    ``debug()`` search space) stays that of the 54-node deployment
+    while the data *volume* grows linearly. The storage benchmarks use
+    this to size their 1× / 10× / 50× tables; ``overrides`` pass
+    through to :class:`IntelConfig`.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    overrides.setdefault(
+        "duration_minutes", IntelConfig.duration_minutes * int(scale)
+    )
+    return IntelConfig(**overrides)
+
+
 #: The walkthrough query of Figure 4 (left panel): per-window avg + stddev.
 WALKTHROUGH_QUERY = (
     "SELECT minute / 30 AS window, avg(temp) AS avg_temp, "

@@ -54,6 +54,14 @@ from .segments import (
     segment_sum_batch,
 )
 from .sqlparse import SelectStatement, parse_select
+from .store import (
+    ColumnStore,
+    GatherStore,
+    InMemoryStore,
+    MmapColumnStore,
+    SliceStore,
+    table_digest,
+)
 from .table import Table
 from .types import ColumnType
 
@@ -68,9 +76,14 @@ __all__ = [
     "CoarseProvenance",
     "Column",
     "ColumnRef",
+    "ColumnStore",
     "ColumnType",
     "Comparison",
     "Database",
+    "GatherStore",
+    "InMemoryStore",
+    "MmapColumnStore",
+    "SliceStore",
     "Expr",
     "FineProvenance",
     "FuncCall",
@@ -110,5 +123,6 @@ __all__ = [
     "segment_stats_batch",
     "segment_sum",
     "segment_sum_batch",
+    "table_digest",
     "write_csv",
 ]

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-from ..errors import UnknownTableError
+from ..errors import StorageError, UnknownTableError
 from .executor import execute_plan
 from .planner import plan_select
 from .result import ResultSet
 from .schema import Schema
 from .sqlparse.ast_nodes import SelectStatement
 from .sqlparse.parser import parse_select
+from .store import MANIFEST_NAME
 from .table import Table
 from .types import ColumnType
 
@@ -77,6 +79,44 @@ class Database:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
+
+    # -- durable storage ---------------------------------------------------
+
+    def save(
+        self,
+        directory: str | Path,
+        chunk_rows: int | None = None,
+        overwrite: bool = False,
+    ) -> "Database":
+        """Persist every table as a columnar subdirectory of ``directory``.
+
+        Returns a new database whose tables read from the just-written
+        memory-mapped files, so a caller that keeps serving after a save
+        serves the durable copy.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        out = Database()
+        for name, table in sorted(self._tables.items()):
+            saved = table.save(
+                directory / name, chunk_rows=chunk_rows, overwrite=overwrite
+            )
+            out.register(saved, name)
+        return out
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "Database":
+        """Open a database persisted by :meth:`save` (manifest reads only)."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise StorageError(f"{directory} is not a database directory")
+        db = cls()
+        for child in sorted(directory.iterdir()):
+            if child.is_dir() and (child / MANIFEST_NAME).exists():
+                db.register(Table.open(child), child.name)
+        if not db._tables:
+            raise StorageError(f"{directory} holds no table directories")
+        return db
 
     # -- querying ----------------------------------------------------------
 

@@ -32,11 +32,11 @@ positions.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import AggregateError
+from ..errors import AggregateError, StorageError
 
 
 class SegmentedValues:
@@ -187,6 +187,24 @@ class SegmentedValues:
             f"SegmentedValues({len(self.values)} values, "
             f"{self.n_segments} segments)"
         )
+
+
+def blocked_ranges(n_rows: int, block_rows: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(lo, hi)`` row bounds that tile ``n_rows`` in fixed blocks.
+
+    The fixed-size counterpart of :func:`partition_offsets`: that one
+    cuts on segment boundaries for grouped math, this one tiles a flat
+    row range. It is the chunk layout of
+    :class:`~repro.db.store.MmapColumnStore` on both the write and the
+    read path — kept tiny and shared so the two can never disagree.
+    """
+    if block_rows < 1:
+        raise StorageError("block_rows must be >= 1")
+    if n_rows == 0:
+        yield (0, 0)
+        return
+    for lo in range(0, n_rows, block_rows):
+        yield (lo, min(lo + block_rows, n_rows))
 
 
 def partition_offsets(offsets: np.ndarray, n_partitions: int) -> np.ndarray:

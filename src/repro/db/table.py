@@ -8,54 +8,49 @@ projection never invalidate references.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import SchemaError, TypeMismatchError
+from ..errors import SchemaError
 from .schema import Column, Schema
+from .store import (
+    ColumnStore,
+    GatherStore,
+    MmapColumnStore,
+    SliceStore,
+    store_for_columns,
+    table_digest,
+)
 from .types import ColumnType, coerce_array, infer_type, python_value
 
 
 class Table:
     """An immutable, column-oriented table.
 
-    Columns are numpy arrays keyed by name; ``tids`` is a parallel int64
-    array of stable row identifiers. All transformation methods return new
-    ``Table`` objects that share column arrays when possible (copy-on-write
-    style), so filters and projections are cheap.
+    Column arrays live behind a :class:`~repro.db.store.ColumnStore`
+    (in-memory by default, memory-mapped for tables opened from disk);
+    ``tids`` is a parallel int64 array of stable row identifiers. All
+    transformation methods return new ``Table`` objects that share or
+    lazily view the underlying storage when possible (copy-on-write
+    style), so filters, projections, and slices are cheap.
     """
 
     def __init__(
         self,
         schema: Schema,
-        columns: Mapping[str, np.ndarray],
+        columns: Mapping[str, np.ndarray] | ColumnStore,
         tids: np.ndarray | None = None,
         name: str = "",
     ):
         self._schema = schema
-        self._columns: dict[str, np.ndarray] = {}
-        length: int | None = None
-        for column in schema:
-            try:
-                array = columns[column.name]
-            except KeyError:
-                raise SchemaError(f"missing data for column {column.name!r}") from None
-            array = np.asarray(array)
-            expected = column.ctype.numpy_dtype
-            if array.dtype != expected:
-                raise TypeMismatchError(
-                    f"column {column.name!r} has dtype {array.dtype}, expected {expected}"
-                )
-            if length is None:
-                length = len(array)
-            elif len(array) != length:
-                raise SchemaError(
-                    f"column {column.name!r} has {len(array)} rows, expected {length}"
-                )
-            self._columns[column.name] = array
-        if length is None:
-            length = 0
+        if isinstance(columns, ColumnStore):
+            store = columns
+            length = store.num_rows
+        else:
+            store, length = store_for_columns(schema, columns)
+        self._store = store
         if tids is None:
             tids = np.arange(length, dtype=np.int64)
         else:
@@ -67,6 +62,7 @@ class Table:
         self.name = name
         self._tid_index: dict[int, int] | None = None
         self._tid_sorted: tuple[np.ndarray, np.ndarray] | None = None
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -133,6 +129,65 @@ class Table:
         return cls(Schema(columns_spec), arrays, name=name)
 
     # ------------------------------------------------------------------
+    # durable storage
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "Table":
+        """Open a table persisted by :meth:`save` (reads only the manifest).
+
+        Column bytes stay on disk behind ``mmap`` until first touched, so
+        opening is O(manifest) regardless of table size.
+        """
+        store = MmapColumnStore.open(directory)
+        table = cls(store.schema, store, tids=store.tids(), name=store.name)
+        table._digest = store.digest
+        return table
+
+    def save(
+        self,
+        directory: str | Path,
+        chunk_rows: int | None = None,
+        overwrite: bool = False,
+    ) -> "Table":
+        """Persist this table as a chunked columnar directory.
+
+        Returns a new mmap-backed :class:`Table` reading from the just-
+        written files — callers that keep serving after a save naturally
+        serve the durable copy.
+        """
+        from .store import DEFAULT_CHUNK_ROWS
+
+        store = MmapColumnStore.write(
+            self,
+            directory,
+            chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+            overwrite=overwrite,
+        )
+        table = Table(store.schema, store, tids=store.tids(), name=store.name)
+        table._digest = store.digest
+        return table
+
+    def content_digest(self) -> str:
+        """Digest of the table's logical content (schema + columns + tids).
+
+        Identical for an in-memory table and its persisted/reopened copy;
+        used to key persisted preprocess artifacts across restarts. For
+        mmap-backed tables the digest comes straight from the manifest —
+        no column bytes are read.
+        """
+        if self._digest is None:
+            self._digest = table_digest(
+                self._schema, self._store.column, self._tids
+            )
+        return self._digest
+
+    @property
+    def store(self) -> ColumnStore:
+        """The backing column store (for storage-aware callers)."""
+        return self._store
+
+    # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
 
@@ -164,17 +219,23 @@ class Table:
     def column(self, name: str) -> np.ndarray:
         """The storage array for a column (read-only view)."""
         self._schema.column(name)
-        view = self._columns[name].view()
-        view.flags.writeable = False
+        view = self._store.column(name).view()
+        if view.flags.writeable:
+            view.flags.writeable = False
         return view
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)
 
     def row(self, index: int) -> tuple[Any, ...]:
-        """Row ``index`` as a tuple of Python values."""
+        """Row ``index`` as a tuple of Python values.
+
+        Reads one row block per column, so a single row of a huge mmap
+        table never materializes whole columns.
+        """
         return tuple(
-            python_value(self._columns[name][index]) for name in self._schema.names
+            python_value(self._store.row_block(name, index, index + 1)[0])
+            for name in self._schema.names
         )
 
     def row_dict(self, index: int) -> dict[str, Any]:
@@ -246,18 +307,33 @@ class Table:
     # ------------------------------------------------------------------
 
     def take(self, positions: np.ndarray | Sequence[int]) -> "Table":
-        """Rows at the given positions, preserving their tids."""
+        """Rows at the given positions, preserving their tids.
+
+        The gather is lazy per column: a projection-heavy consumer of a
+        wide (or mmap-backed) table only pays for the columns it reads.
+        """
         positions = np.asarray(positions, dtype=np.int64)
-        columns = {name: array[positions] for name, array in self._columns.items()}
-        return Table(self._schema, columns, tids=self._tids[positions], name=self.name)
+        store = GatherStore(self._store, positions)
+        return Table(self._schema, store, tids=self._tids[positions], name=self.name)
 
     def filter(self, mask: np.ndarray) -> "Table":
         """Rows where the boolean ``mask`` is True, preserving tids."""
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != self._length:
             raise SchemaError(f"mask length {len(mask)} != table length {self._length}")
-        columns = {name: array[mask] for name, array in self._columns.items()}
-        return Table(self._schema, columns, tids=self._tids[mask], name=self.name)
+        return self.take(np.flatnonzero(mask))
+
+    def slice_rows(self, lo: int, hi: int) -> "Table":
+        """The contiguous row window ``[lo, hi)`` as a zero-copy view.
+
+        Feeds the partitioned backend's group-aligned row blocks: each
+        block's columns are slices of the parent's storage, so scatter-
+        gather never copies column data per partition.
+        """
+        lo = max(0, min(lo, self._length))
+        hi = max(lo, min(hi, self._length))
+        store = SliceStore(self._store, lo, hi)
+        return Table(self._schema, store, tids=self._tids[lo:hi], name=self.name)
 
     def exclude_tids(self, tids: Iterable[int]) -> "Table":
         """Rows whose tid is *not* in the given collection."""
@@ -268,10 +344,13 @@ class Table:
         return self.filter(mask)
 
     def project(self, names: Sequence[str]) -> "Table":
-        """Only the named columns, preserving row order and tids."""
+        """Only the named columns, preserving row order and tids.
+
+        Zero-copy: the projected table shares this table's store and
+        simply restricts its schema to ``names``.
+        """
         schema = self._schema.project(names)
-        columns = {name: self._columns[name] for name in names}
-        return Table(schema, columns, tids=self._tids, name=self.name)
+        return Table(schema, self._store, tids=self._tids, name=self.name)
 
     def with_column(self, column: Column, values: np.ndarray | Sequence[Any]) -> "Table":
         """A new table with an extra column appended."""
@@ -279,13 +358,13 @@ class Table:
         if array.dtype != column.ctype.numpy_dtype:
             array = coerce_array(list(values), column.ctype)
         schema = self._schema.extend([column])
-        columns = dict(self._columns)
+        columns = {name: self._store.column(name) for name in self._schema.names}
         columns[column.name] = array
         return Table(schema, columns, tids=self._tids, name=self.name)
 
     def rename(self, name: str) -> "Table":
         """The same table under a different name."""
-        return Table(self._schema, self._columns, tids=self._tids, name=name)
+        return Table(self._schema, self._store, tids=self._tids, name=name)
 
     def concat(self, other: "Table") -> "Table":
         """Rows of ``self`` followed by rows of ``other`` (schemas must match).
@@ -295,7 +374,9 @@ class Table:
         if self._schema != other._schema:
             raise SchemaError("cannot concat tables with different schemas")
         columns = {
-            name: np.concatenate([self._columns[name], other._columns[name]])
+            name: np.concatenate(
+                [self._store.column(name), other._store.column(name)]
+            )
             for name in self._schema.names
         }
         tids = np.concatenate([self._tids, other._tids])
@@ -303,7 +384,7 @@ class Table:
 
     def sort_by(self, name: str, descending: bool = False) -> "Table":
         """Rows sorted by one column (stable sort), preserving tids."""
-        array = self._columns[self._schema.column(name).name]
+        array = self._store.column(self._schema.column(name).name)
         order = np.argsort(array, kind="stable")
         if descending:
             order = order[::-1]

@@ -161,6 +161,39 @@ def is_null(value: Any) -> bool:
     return False
 
 
+def dict_encode(values: np.ndarray) -> tuple[np.ndarray, list[str]]:
+    """Dictionary-encode a STR object array into int64 codes plus values.
+
+    Codes assign ``0, 1, 2, ...`` in first-occurrence order and ``-1``
+    for NULL (``None``). The encoding is a pure function of the logical
+    column content, which makes it safe to use both for persistence
+    (object arrays cannot be memory-mapped) and for content digests
+    (the digest of a column must not depend on physical layout).
+    """
+    codes = np.empty(len(values), dtype=np.int64)
+    mapping: dict[str, int] = {}
+    ordered: list[str] = []
+    for i, value in enumerate(values):
+        if value is None:
+            codes[i] = -1
+            continue
+        code = mapping.get(value)
+        if code is None:
+            code = len(ordered)
+            mapping[value] = code
+            ordered.append(value)
+        codes[i] = code
+    return codes, ordered
+
+
+def dict_decode(codes: np.ndarray, values: list[str]) -> np.ndarray:
+    """Invert :func:`dict_encode` back into a STR object array."""
+    lookup = np.empty(len(values) + 1, dtype=object)
+    lookup[: len(values)] = values
+    lookup[-1] = None
+    return lookup[np.asarray(codes, dtype=np.int64)]
+
+
 def python_value(value: Any) -> Any:
     """Convert a numpy scalar back into a plain Python value for display."""
     if value is None:

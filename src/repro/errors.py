@@ -102,3 +102,7 @@ class ProtocolError(ServiceError):
 
 class ObservabilityError(ReproError):
     """The telemetry registry was misused (metric kind/bucket conflicts)."""
+
+
+class StorageError(ReproError):
+    """The durable column store failed (bad manifest, missing files, races)."""

@@ -36,8 +36,10 @@ with the threaded path.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial as fn_partial
 
@@ -64,6 +66,71 @@ DEFAULT_SERVICE_SECONDS = 0.05
 #: short enough that a well-behaved client retries within the demo.
 MIN_RETRY_AFTER = 0.01
 MAX_RETRY_AFTER = 5.0
+
+#: Auto-tuned admission: bound the convoy delay a newly admitted heavy
+#: request sits behind (``inflight × EWMA service time``) to roughly this
+#: many seconds. Fast workloads widen the gate; slow ones narrow it.
+AUTO_TARGET_DELAY_SECONDS = 2.0
+
+#: Auto-tuned ``max_inflight`` stays inside these bounds (the upper one
+#: additionally capped by CPU count — see ``_auto_cap``).
+AUTO_MIN_INFLIGHT = 1
+AUTO_MAX_INFLIGHT = 16
+
+#: Where an auto-tuned gateway starts before the first EWMA sample.
+AUTO_START_INFLIGHT = 4
+
+
+def _auto_cap() -> int:
+    """Ceiling for the auto-tuned gate: 2× cores, in [4, AUTO_MAX]."""
+    cores = os.cpu_count() or 1
+    return max(4, min(AUTO_MAX_INFLIGHT, 2 * cores))
+
+
+class _AdmissionGate:
+    """A counting gate whose limit can change while coroutines wait.
+
+    ``asyncio.Semaphore`` bakes its count in at construction; auto-tuning
+    needs to widen or narrow admission *while requests are queued*, so
+    this keeps an explicit waiter deque and an adjustable ``limit``.
+    Everything runs on the event loop — no locks. Narrowing never
+    revokes in-flight work; the excess drains as requests finish.
+    """
+
+    def __init__(self, limit: int):
+        self.limit = max(1, int(limit))
+        self.inflight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    async def acquire(self) -> None:
+        if self.inflight < self.limit:
+            self.inflight += 1
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # Granted and cancelled in the same tick: return the slot.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        self.inflight -= 1
+        self._wake()
+
+    def set_limit(self, limit: int) -> None:
+        self.limit = max(1, int(limit))
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._waiters and self.inflight < self.limit:
+            future = self._waiters.popleft()
+            if future.done():
+                continue
+            self.inflight += 1
+            future.set_result(None)
 
 
 class TokenBucket:
@@ -115,7 +182,12 @@ class AsyncDBWipesServer:
 
     ``max_inflight``
         Heavy commands executing at once (executor threads or routed
-        worker calls). The GIL makes a *small* bound fastest.
+        worker calls). The GIL makes a *small* bound fastest. ``None``
+        (the default) auto-tunes: the gate is resized after each heavy
+        completion so that ``inflight × EWMA service time`` stays near
+        :data:`AUTO_TARGET_DELAY_SECONDS`, clamped to
+        ``[AUTO_MIN_INFLIGHT, 2 × cores ≤ AUTO_MAX_INFLIGHT]``. Passing
+        an integer pins the gate (the ``--max-inflight`` override).
     ``max_queue``
         Heavy commands allowed to wait for a slot; one more is shed.
     ``exec_threads``
@@ -136,21 +208,34 @@ class AsyncDBWipesServer:
         config=None,
         max_sessions: int = 64,
         ttl_seconds: float | None = None,
-        max_inflight: int = 4,
+        max_inflight: int | None = None,
         max_queue: int = 32,
         exec_threads: int | None = None,
         rate: float | None = None,
         burst: float | None = None,
     ):
-        if max_inflight < 1:
-            raise ServiceError("max_inflight must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ServiceError("max_inflight must be >= 1 (or None to auto-tune)")
         if max_queue < 0:
             raise ServiceError("max_queue must be >= 0")
         self.host = host
         self.port = port
-        self.max_inflight = int(max_inflight)
+        #: Whether the gate resizes itself from the service-time EWMA.
+        self.auto_inflight = max_inflight is None
+        self._inflight_cap = _auto_cap()
+        self.max_inflight = (
+            min(AUTO_START_INFLIGHT, self._inflight_cap)
+            if max_inflight is None
+            else int(max_inflight)
+        )
         self.max_queue = int(max_queue)
-        self.exec_threads = int(exec_threads) if exec_threads else self.max_inflight
+        # An auto-tuned gate may widen up to its cap at runtime; size the
+        # executor for the widest it can get so threads never re-bound it.
+        self.exec_threads = (
+            int(exec_threads)
+            if exec_threads
+            else (self._inflight_cap if self.auto_inflight else self.max_inflight)
+        )
         self.rate = rate
         self.burst = float(burst) if burst is not None else (rate or 0) * 2 or 1.0
         self.pool = None
@@ -178,7 +263,7 @@ class AsyncDBWipesServer:
         self._shed_count = 0
 
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._slots: asyncio.Semaphore | None = None
+        self._gate: _AdmissionGate | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -283,7 +368,7 @@ class AsyncDBWipesServer:
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
-        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._gate = _AdmissionGate(self.max_inflight)
         self._stop_event = asyncio.Event()
         if self.pool is None:
             self._executor = ThreadPoolExecutor(
@@ -414,8 +499,20 @@ class AsyncDBWipesServer:
         if self.pool is not None:
             # Routed mode: stats/metrics/... broadcast to the workers,
             # but over async pipe waits — the loop never blocks.
-            return await self.dispatcher.handle_async(message)
-        return self.dispatcher.handle(message)
+            envelope = await self.dispatcher.handle_async(message)
+        else:
+            envelope = self.dispatcher.handle(message)
+        if (
+            isinstance(message, dict)
+            and message.get("cmd") == "stats"
+            and envelope.get("ok")
+            and isinstance(envelope.get("result"), dict)
+        ):
+            # The gateway's admission state lives on this loop, not in
+            # any session manager — graft it into the stats snapshot so
+            # clients can see the (possibly auto-tuned) gate width.
+            envelope["result"]["gateway"] = self.gateway_stats()
+        return envelope
 
     async def _handle_heavy(
         self,
@@ -444,7 +541,7 @@ class AsyncDBWipesServer:
                 f"{self._waiting} queued); retry shortly",
                 self._retry_after(),
             )
-        assert self._slots is not None
+        assert self._gate is not None
         self._waiting += 1
         if obs_enabled():
             self._g_queue.set(float(self._waiting))
@@ -453,7 +550,7 @@ class AsyncDBWipesServer:
             "gateway.admit", trace_id=trace_id, parent_id=parent_id
         ) as span:
             span.set(queued=self._waiting, inflight=self._inflight)
-            await self._slots.acquire()
+            await self._gate.acquire()
         self._waiting -= 1
         self._inflight += 1
         if obs_enabled():
@@ -464,7 +561,7 @@ class AsyncDBWipesServer:
             envelope = await self._execute(message, request_id, cmd, writer)
         finally:
             self._inflight -= 1
-            self._slots.release()
+            self._gate.release()
             if obs_enabled():
                 self._g_inflight.set(float(self._inflight))
         self._observe_heavy(cmd, envelope, time.perf_counter() - start)
@@ -558,6 +655,29 @@ class AsyncDBWipesServer:
         self._ewma_heavy_seconds = (
             seconds if previous is None else 0.2 * seconds + 0.8 * previous
         )
+        if self.auto_inflight:
+            self._retune_gate()
+
+    def _retune_gate(self) -> None:
+        """Resize admission so backlog drain time tracks the target.
+
+        With an EWMA service time of *s* seconds, admitting *n* at once
+        means a newly admitted request waits roughly ``n × s`` behind the
+        GIL / worker pool. Solve for the *n* that keeps that near
+        :data:`AUTO_TARGET_DELAY_SECONDS`: fast requests widen the gate
+        (more concurrency costs little), slow ones narrow it toward
+        serial execution (where each finishes soonest). Clamped to
+        ``[AUTO_MIN_INFLIGHT, cap]``; the executor was sized to the cap
+        up front, so widening never outruns the thread pool.
+        """
+        ewma = self._ewma_heavy_seconds
+        if ewma is None or self._gate is None:
+            return
+        target = int(AUTO_TARGET_DELAY_SECONDS / max(ewma, 1e-4))
+        target = max(AUTO_MIN_INFLIGHT, min(self._inflight_cap, target))
+        if target != self.max_inflight:
+            self.max_inflight = target
+            self._gate.set_limit(target)
 
     def _retry_after(self) -> float:
         """Suggested backoff: expected backlog drain time, clamped."""
@@ -578,6 +698,7 @@ class AsyncDBWipesServer:
         """Loop-side admission counters (racy reads, fine for tests)."""
         return {
             "max_inflight": self.max_inflight,
+            "auto_inflight": self.auto_inflight,
             "max_queue": self.max_queue,
             "inflight": self._inflight,
             "waiting": self._waiting,

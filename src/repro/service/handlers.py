@@ -31,7 +31,9 @@ DEFAULT_MAX_POINTS = 2000
 #: event loop: read-only manager/registry lookups that never run the
 #: pipeline, touch a dataset, or block on a session lock. Everything
 #: else is "heavy" and goes through admission control + the executor.
-CHEAP_COMMANDS = frozenset({"ping", "stats", "sessions", "metrics", "trace"})
+CHEAP_COMMANDS = frozenset(
+    {"ping", "stats", "sessions", "metrics", "trace", "storage"}
+)
 
 
 class LocalDispatcher:
@@ -206,6 +208,18 @@ def _metrics(manager: SessionManager, args: dict) -> dict:
     }
 
 
+def _storage(manager: SessionManager, args: dict) -> dict:
+    """The durable tier's state: data dir, persisted datasets, artifacts.
+
+    Manifest reads only — never materializes a table or touches column
+    bytes, so it stays in the cheap lane.
+    """
+    info = manager.catalog.storage_info()
+    disk = manager.preprocess_cache.disk
+    info["preprocess_artifacts"] = disk.stats() if disk is not None else None
+    return info
+
+
 def _trace(manager: SessionManager, args: dict) -> dict:
     """Spans of one recent trace from this process's ring buffer.
 
@@ -239,6 +253,7 @@ _SERVER_HANDLERS: dict[str, Callable[[SessionManager, dict], Any]] = {
     "open": _open,
     "metrics": _metrics,
     "trace": _trace,
+    "storage": _storage,
 }
 
 

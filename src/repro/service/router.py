@@ -198,6 +198,10 @@ class RoutingDispatcher:
             return self._merge_metrics(
                 request_id, self._broadcast("metrics", message)
             )
+        if cmd == "storage":
+            return self._merge_storage(
+                request_id, self._broadcast("storage", message)
+            )
         if cmd == "trace":
             resolved = self._trace_resolve(request_id, message, args)
             if isinstance(resolved, dict):
@@ -241,6 +245,10 @@ class RoutingDispatcher:
         if cmd == "metrics":
             return self._merge_metrics(
                 request_id, await self._broadcast_async("metrics", message)
+            )
+        if cmd == "storage":
+            return self._merge_storage(
+                request_id, await self._broadcast_async("storage", message)
             )
         if cmd == "trace":
             resolved = self._trace_resolve(request_id, message, args)
@@ -338,6 +346,7 @@ class RoutingDispatcher:
         per_worker = []
         sessions = 0
         hits = misses = evictions = entries = 0
+        disk_hits = disk_misses = disk_writes = 0
         lru_evictions = ttl_evictions = 0
         worker_requests = restarts = 0
         for process_stats, envelope in zip(self.pool.stats(), envelopes):
@@ -355,6 +364,9 @@ class RoutingDispatcher:
                 misses += int(cache.get("misses", 0))
                 evictions += int(cache.get("evictions", 0))
                 entries += int(cache.get("entries", 0))
+                disk_hits += int(cache.get("disk_hits", 0))
+                disk_misses += int(cache.get("disk_misses", 0))
+                disk_writes += int(cache.get("disk_writes", 0))
             else:
                 entry["error"] = envelope.get("error")
             per_worker.append(entry)
@@ -380,10 +392,55 @@ class RoutingDispatcher:
                     "evictions": evictions,
                     "entries": entries,
                     "hit_rate": (hits / total) if total else 0.0,
+                    "disk_hits": disk_hits,
+                    "disk_misses": disk_misses,
+                    "disk_writes": disk_writes,
                 },
                 "per_worker": per_worker,
             },
         )
+
+    def _merge_storage(self, request_id, envelopes: list[dict]) -> dict:
+        """Cluster view of the durable tier.
+
+        Every worker shares one data dir, so the dataset/table listing
+        comes from the first healthy worker; the per-worker artifact
+        *activity* counters (saves/loads) are summed — they live in each
+        worker's process, not on disk.
+        """
+        merged: dict = {
+            "workers": len(self.pool),
+            "data_dir": None,
+            "datasets": [],
+            "preprocess_artifacts": None,
+        }
+        saves = loads = load_failures = entries = 0
+        seen_artifacts = False
+        first_ok = None
+        for envelope in envelopes:
+            if not envelope.get("ok"):
+                continue
+            result = envelope["result"]
+            if first_ok is None:
+                first_ok = result
+            artifacts = result.get("preprocess_artifacts")
+            if isinstance(artifacts, dict):
+                seen_artifacts = True
+                saves += int(artifacts.get("saves", 0))
+                loads += int(artifacts.get("loads", 0))
+                load_failures += int(artifacts.get("load_failures", 0))
+                entries = max(entries, int(artifacts.get("entries", 0)))
+        if first_ok is not None:
+            merged["data_dir"] = first_ok.get("data_dir")
+            merged["datasets"] = first_ok.get("datasets", [])
+        if seen_artifacts:
+            merged["preprocess_artifacts"] = {
+                "entries": entries,
+                "saves": saves,
+                "loads": loads,
+                "load_failures": load_failures,
+            }
+        return protocol.ok_response(request_id, merged)
 
     def _merge_sessions(self, request_id, envelopes: list[dict]) -> dict:
         """Every worker's session list, each entry tagged with its worker."""

@@ -99,9 +99,17 @@ class SessionManager:
         self.config = config
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
-        self.preprocess_cache = (
-            preprocess_cache if preprocess_cache is not None else PreprocessCache()
-        )
+        if preprocess_cache is None:
+            # A durable catalog implies a durable preprocess tier: keep
+            # artifacts next to the tables they derive from, so one data
+            # dir is the whole warm-restart state.
+            disk = None
+            if self.catalog.data_dir is not None:
+                from ..core.artifacts import ArtifactStore
+
+                disk = ArtifactStore(self.catalog.data_dir / "preprocess")
+            preprocess_cache = PreprocessCache(disk=disk)
+        self.preprocess_cache = preprocess_cache
         self._clock = clock
         self._lock = threading.Lock()
         #: name -> ManagedSession, in least-recently-used-first order.

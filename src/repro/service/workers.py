@@ -68,6 +68,13 @@ def _worker_main(
     obs_trace_mod.tracer().clear()
     obs_flags.reset_from_env()
 
+    # Durable-tier fork safety mirrors the registry reset above: each
+    # worker builds its own catalog + artifact store against the shared
+    # REPRO_DATA_DIR, and every disk write in that tier stages under a
+    # per-*pid* temp name published by atomic rename with first-writer-
+    # wins — so N forked workers racing on a cold dataset or artifact
+    # produce one file, never a clobber (and a parent forked mid-persist
+    # cannot collide with any child's staging paths).
     catalog = (
         catalog_factory()
         if catalog_factory is not None
