@@ -24,7 +24,11 @@ provided bootstrap queries. This CLI is that experience in a terminal:
   ``--dataset``, ``--script``);
 * ``python -m repro metrics`` — cluster-merged telemetry from a running
   server, Prometheus text by default (``--host``, ``--port``,
-  ``--json``).
+  ``--json``);
+* ``python -m repro drain`` — rolling-restart one worker of a running
+  routed server: ``drain --worker N [--deadline S] [--restart]
+  [--host H] [--port P]`` drains in-flight work, flushes journals,
+  hands sessions to replicas, and optionally restarts the process.
 
 Interactive commands mirror the dashboard's controls::
 
@@ -733,6 +737,41 @@ def metrics_main(argv: list[str]) -> int:
     return 0
 
 
+def drain_main(argv: list[str]) -> int:
+    """``python -m repro drain`` — rolling-restart one worker.
+
+    ``drain --worker N [--deadline S] [--restart] [--host H] [--port P]``
+    stops new-session placement on worker N, waits out its in-flight
+    requests (bounded by ``--deadline`` seconds, default 5), flushes
+    every live session's journal, hands its placements to replicas by
+    replay, and with ``--restart`` swaps in a fresh process and
+    re-admits it. Prints the JSON summary the router returns.
+    """
+    import json
+
+    from .service import ServiceClient
+
+    try:
+        host = _flag_value(argv, "--host", "127.0.0.1")
+        port = int(_flag_value(argv, "--port", "8642"))
+        worker = int(_flag_value(argv, "--worker", "0"))
+        deadline = float(_flag_value(argv, "--deadline", "5"))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    restart = "--restart" in argv
+    client = ServiceClient(host, port)
+    try:
+        summary = client.drain(worker, deadline=deadline, restart=restart)
+    except ReproError as error:
+        print(f"error: cannot drain worker {worker}: {error}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -747,6 +786,8 @@ def main(argv: list[str] | None = None) -> int:
         return connect_main(argv[1:])
     if argv[0] == "metrics":
         return metrics_main(argv[1:])
+    if argv[0] == "drain":
+        return drain_main(argv[1:])
     dataset = argv[0]
     scripted = "--script" in argv[1:]
     try:

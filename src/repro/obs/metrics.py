@@ -407,4 +407,11 @@ CORE_METRICS = (
     "dbwipes_stage_seconds",
     "dbwipes_partition_blocks_total",
     "dbwipes_partition_block_seconds",
+    # Fault tolerance (PR 10) — registered at construction time by the
+    # RoutingDispatcher (failovers/breaker/drains) and SessionManager
+    # (recoveries), so they expose at zero before any fault occurs.
+    "dbwipes_failovers_total",
+    "dbwipes_breaker_state",
+    "dbwipes_drains_total",
+    "dbwipes_sessions_recovered_total",
 )

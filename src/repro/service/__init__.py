@@ -24,7 +24,21 @@ tier for the reproduction:
   ``retry_after``), per-connection token-bucket rate limiting, and
   streamed partial ``debug`` frames;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
-  client used by tests, benchmarks, and ``python -m repro connect``.
+  client used by tests, benchmarks, and ``python -m repro connect``;
+* :mod:`~repro.service.journal` — :class:`JournalStore`: per-session
+  command journals under the durable data dir, the substrate for crash
+  recovery (``recover`` replays a journal to rebuild a session
+  byte-identically on any worker);
+* :mod:`~repro.service.faults` — :class:`FaultPlan`: the deterministic
+  fault-injection harness (scripted worker kills, dropped replies,
+  delays, journal corruption) driven by tests, the chaos benchmark,
+  and the ``REPRO_FAULT_PLAN`` environment knob.
+
+The routed tier self-heals: sessions journal every mutating command,
+the router fails crashed requests over along each dataset's replica
+set (per-worker circuit breakers, jittered bounded backoff), ``drain``
+rolls a worker out gracefully, and ``resize`` rebalances placements by
+replay instead of dropping them.
 
 Every tier reports into :mod:`repro.obs`: requests are traced across
 the router/worker hop, per-stage latencies land in the shared metrics
@@ -35,19 +49,25 @@ the per-process registries and span buffers into one cluster view.
 from .async_server import AsyncDBWipesServer, TokenBucket
 from .cache import DatasetCatalog, PreprocessCache
 from .client import ServiceClient
+from .faults import FaultPlan
 from .handlers import LocalDispatcher
+from .journal import JOURNALED_COMMANDS, JournalStore
 from .protocol import PROTOCOL_VERSION
-from .router import HashRing, RoutingDispatcher
+from .router import CircuitBreaker, HashRing, RoutingDispatcher
 from .server import DBWipesServer
 from .sessions import ManagedSession, SessionManager
 from .workers import WorkerHandle, WorkerPool
 
 __all__ = [
     "AsyncDBWipesServer",
+    "CircuitBreaker",
     "DBWipesServer",
     "TokenBucket",
     "DatasetCatalog",
+    "FaultPlan",
     "HashRing",
+    "JOURNALED_COMMANDS",
+    "JournalStore",
     "LocalDispatcher",
     "ManagedSession",
     "PROTOCOL_VERSION",

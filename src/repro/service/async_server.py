@@ -582,7 +582,9 @@ class AsyncDBWipesServer:
         )
         if self.pool is not None:
             # Worker processes do the CPU work; the pipe wait is async.
-            return await self.dispatcher.handle_async(message)
+            # Partial frames cross the worker pipe and reach ``emit``
+            # (thread-safe) via the handle's reader thread.
+            return await self.dispatcher.handle_async(message, emit)
         assert self._loop is not None and self._executor is not None
         try:
             return await self._loop.run_in_executor(

@@ -20,12 +20,21 @@ whose ``kind`` is the server-side exception class name.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..errors import ProtocolError, ServiceError
 from .protocol import MAX_LINE_BYTES, decode_line, encode
+
+#: Error kinds :meth:`ServiceClient.call_with_retry` treats as
+#: transient. ``ServerBusy`` is load shedding (honour its
+#: ``retry_after``); ``WorkerCrashed``/``WorkerTimeout`` escape to the
+#: client only when the router exhausted failover (or runs without a
+#: journal tier), and the worker has been respawned by the time the
+#: error arrives — a short backoff and a retry usually succeeds.
+RETRYABLE_KINDS = frozenset({"ServerBusy", "WorkerCrashed", "WorkerTimeout"})
 
 
 class ServiceClient:
@@ -106,27 +115,41 @@ class ServiceClient:
         cmd: str,
         session: str | None = None,
         retries: int = 4,
+        base_backoff: float = 0.05,
         max_backoff: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
         **args: Any,
     ) -> Any:
-        """Like :meth:`call`, but backs off and retries on ``ServerBusy``.
+        """Like :meth:`call`, but retries transient failures with
+        jittered exponential backoff.
 
-        The async gateway sheds load with a structured ``ServerBusy``
-        error carrying ``retry_after`` — this helper honors that hint
-        (falling back to capped exponential backoff when absent) for up
-        to ``retries`` additional attempts before re-raising.
+        Retries every kind in :data:`RETRYABLE_KINDS` for up to
+        ``retries`` additional attempts. The schedule is
+        ``base_backoff * 2**attempt`` capped at ``max_backoff``, with
+        ±50% jitter so synchronized clients spread out; a server-sent
+        ``retry_after`` hint (ServerBusy load shedding) raises the
+        floor when it asks for a longer wait. ``sleep`` and ``rng`` are
+        injectable so tests can pin the schedule with a fake clock.
         """
+        if rng is None:
+            rng = random.Random()
         attempt = 0
         while True:
             try:
                 return self.call(cmd, session=session, **args)
             except ServiceError as error:
-                if error.kind != "ServerBusy" or attempt >= retries:
+                if error.kind not in RETRYABLE_KINDS or attempt >= retries:
                     raise
-                delay = error.retry_after
-                if delay is None or delay <= 0:
-                    delay = 0.05 * (2**attempt)
-                time.sleep(min(float(delay), max_backoff))
+                delay = min(max_backoff, base_backoff * (2**attempt))
+                delay *= 0.5 + rng.random()  # jitter in [0.5x, 1.5x)
+                hint = error.retry_after
+                if hint is not None:
+                    try:
+                        delay = max(delay, float(hint))
+                    except (TypeError, ValueError):
+                        pass
+                sleep(delay)
                 attempt += 1
 
     def stream(
@@ -246,6 +269,25 @@ class ServiceClient:
         """One trace's spans + tree (defaults to the most recent trace)."""
         return self.call("trace", trace_id=trace_id)
 
+    def recover(self, session: str | None = None) -> dict:
+        """Replay a journaled session on its owning worker."""
+        target = session if session is not None else self.session
+        if not target:
+            raise ServiceError("no session name set; pass session=...")
+        return self.call("recover", session=target)
+
+    def drain(
+        self, worker: int, deadline: float = 5.0, restart: bool = False
+    ) -> dict:
+        """Gracefully drain one worker (optionally restarting it)."""
+        return self.call(
+            "drain", worker=worker, deadline=deadline, restart=restart
+        )
+
+    def resize(self, workers: int) -> dict:
+        """Grow or shrink the worker tier, rebalancing placements."""
+        return self.call("resize", workers=workers)
+
     def open(self, dataset: str, session: str | None = None) -> dict:
         """Open (or rejoin) this client's session on a dataset."""
         if session is not None:
@@ -318,9 +360,11 @@ class ServiceClient:
 
         Yields ``{"partial": True, "seq": n, "result": {...}}`` frames as
         merge rounds survive server-side, then ``{"partial": False,
-        "result": <full report payload>}``. Requires the async gateway;
-        the threaded server (and routed workers) simply send the final
-        frame only.
+        "result": <full report payload>}``. Works on the async gateway
+        and the threaded server alike, single-process or routed —
+        workers forward partial frames back over their pipe. A
+        mid-stream failover replays the stream from a replica, so
+        partial frames are at-least-once; the final frame is exact.
         """
         return self.stream("debug", agg=agg, max_rows=max_rows, stream=True)
 

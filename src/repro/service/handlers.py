@@ -13,13 +13,14 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
-from ..errors import ProtocolError, ReproError
+from ..errors import ProtocolError, ReproError, ServiceError
 from ..frontend.session import DBWipesSession
 from ..obs import logs as obs_logs
 from ..obs import trace as obs_trace
 from ..obs.flags import enabled as obs_enabled
 from ..obs.metrics import registry as obs_registry
 from . import protocol
+from .journal import JOURNALED_COMMANDS
 from .sessions import SessionManager
 
 #: Default row/point truncation for result and scatter payloads; clients
@@ -32,8 +33,12 @@ DEFAULT_MAX_POINTS = 2000
 #: pipeline, touch a dataset, or block on a session lock. Everything
 #: else is "heavy" and goes through admission control + the executor.
 CHEAP_COMMANDS = frozenset(
-    {"ping", "stats", "sessions", "metrics", "trace", "storage"}
+    {"ping", "stats", "sessions", "metrics", "trace", "storage", "drain"}
 )
+# ``drain`` rides the cheap lane deliberately: it is the operator's
+# overload-recovery lever, so it must not be shed by the very admission
+# control it exists to relieve. The routing dispatcher runs its waiting
+# in a thread, never on the event loop.
 
 
 class LocalDispatcher:
@@ -126,6 +131,9 @@ def _dispatch_inner(
     try:
         cmd, session_name, args = protocol.validate_request(message)
         if cmd in _SERVER_HANDLERS:
+            if cmd == "recover" and not args.get("session") and session_name:
+                # Let clients address recover like any session command.
+                args = {**args, "session": session_name}
             result = _SERVER_HANDLERS[cmd](manager, args)
         elif cmd in _SESSION_HANDLERS:
             if not session_name:
@@ -143,6 +151,10 @@ def _dispatch_inner(
                         result = _debug_streaming(session, args, emit_partial)
                     else:
                         result = _SESSION_HANDLERS[cmd](session, args)
+                if cmd in JOURNALED_COMMANDS:
+                    # Journaled only after the handler succeeds, so the
+                    # replay history never contains a failed mutation.
+                    manager.record(session_name, cmd, args)
         else:
             known = sorted(set(_SERVER_HANDLERS) | set(_SESSION_HANDLERS))
             raise ProtocolError(f"unknown command {cmd!r} (known: {known})")
@@ -246,6 +258,99 @@ def _trace(manager: SessionManager, args: dict) -> dict:
     }
 
 
+def _recover(manager: SessionManager, args: dict) -> dict:
+    """Rebuild a session by replaying its journal (idempotent).
+
+    The self-healing primitive: the router sends ``recover`` to a
+    replica (or a respawned primary) before re-forwarding a request
+    whose owner crashed, and ``drain`` uses it to hand sessions off.
+    Replay stops at the first failing command — a truncated journal or
+    changed dataset yields the longest valid prefix, never an error
+    loop — and re-journals as it goes, so the rebuilt session's journal
+    is clean even when the on-disk copy had a corrupt tail.
+    """
+    name = args.get("session")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(
+            "'recover' needs a non-empty 'session' string in args"
+        )
+    if name in manager:
+        managed = manager.get(name)
+        return {
+            "recovered": name,
+            "dataset": managed.dataset,
+            "replayed": 0,
+            "already_live": True,
+            "corrupt_records": 0,
+            "truncated_at": None,
+            "state": managed.session.state,
+        }
+    journals = manager.journals
+    if journals is None:
+        raise ServiceError(
+            "session journaling is disabled (no data dir): nothing to "
+            "recover",
+            kind="NoJournal",
+        )
+    loaded = journals.load(name)
+    if loaded is None:
+        raise ServiceError(
+            f"no journal for session {name!r}", kind="NoJournal"
+        )
+    manager.open(name, loaded.dataset)
+    replayed = 0
+    truncated_at = None
+    for cmd, cmd_args in loaded.records:
+        handler = _SESSION_HANDLERS.get(cmd)
+        if cmd not in JOURNALED_COMMANDS or handler is None:
+            continue
+        try:
+            with manager.borrow(name) as session:
+                handler(session, cmd_args)
+        except ReproError as error:
+            truncated_at = f"{cmd}: {error}"
+            break
+        manager.record(name, cmd, cmd_args)
+        replayed += 1
+    manager.mark_recovered()
+    managed = manager.get(name)
+    return {
+        "recovered": name,
+        "dataset": loaded.dataset,
+        "replayed": replayed,
+        "already_live": False,
+        "corrupt_records": loaded.corrupt_records,
+        "truncated_at": truncated_at,
+        "state": managed.session.state,
+    }
+
+
+def _drain_prepare(manager: SessionManager, args: dict) -> dict:
+    """Flush every live session's journal from memory to disk.
+
+    Sent by the router's drain path before handing sessions off; the
+    in-memory records are authoritative, so this also repairs journal
+    files corrupted on disk since their last publish.
+    """
+    return {"journaled": manager.journal_all(), "sessions": len(manager)}
+
+
+def _drain(manager: SessionManager, args: dict) -> dict:
+    # The routing front end intercepts ``drain`` before dispatch; only
+    # a single-process server ever reaches this handler.
+    raise ServiceError(
+        "'drain' needs the multi-worker tier; start the server with "
+        "--workers N"
+    )
+
+
+def _resize(manager: SessionManager, args: dict) -> dict:
+    raise ServiceError(
+        "'resize' needs the multi-worker tier; start the server with "
+        "--workers N"
+    )
+
+
 _SERVER_HANDLERS: dict[str, Callable[[SessionManager, dict], Any]] = {
     "ping": _ping,
     "stats": _stats,
@@ -254,6 +359,10 @@ _SERVER_HANDLERS: dict[str, Callable[[SessionManager, dict], Any]] = {
     "metrics": _metrics,
     "trace": _trace,
     "storage": _storage,
+    "recover": _recover,
+    "drain_prepare": _drain_prepare,
+    "drain": _drain,
+    "resize": _resize,
 }
 
 

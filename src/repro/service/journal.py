@@ -1,0 +1,245 @@
+"""Per-session command journals: the crash-recovery substrate.
+
+Every state-mutating wire command a session executes is appended to a
+per-session JSON-line journal under the durable data dir (PR 9), so a
+session is fully described by its dataset plus the ordered command
+list — the pipeline is deterministic, so replaying the journal on any
+worker rebuilds byte-identical state (and the first replayed
+``debug`` answers warm off the disk artifact tier).
+
+The on-disk contract matches :mod:`repro.core.artifacts`:
+
+- **Atomic-rename publication.** Every append rewrites the whole
+  journal to ``.{stem}.tmp-{pid}`` and ``os.replace``\\ s it over the
+  target — readers never observe a half-written file, and the
+  per-pid staging name keeps forked workers from clobbering each
+  other's temp files. Journals are interactive-session sized (tens of
+  records), so the O(n) rewrite is noise next to the command itself.
+- **Corruption degrades, never errors.** Each record carries a
+  blake2b checksum over its canonical JSON; replay stops at the first
+  bad line and recovers the longest valid prefix. A corrupt journal
+  yields a shorter session, not a crash loop.
+- **Single writer by construction.** The router places each session
+  on exactly one worker at a time, so a journal has one appender; the
+  in-memory record list is authoritative and the file is its mirror
+  (``publish`` re-mirrors it wholesale, which is also how drain
+  repairs a journal that was corrupted on disk).
+
+Record 0 is always the ``open`` record naming the session and its
+dataset; subsequent records are ``{"seq", "cmd", "args", "crc"}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from . import faults
+from .protocol import jsonify
+
+__all__ = [
+    "JOURNALED_COMMANDS",
+    "JournalStore",
+    "LoadedJournal",
+    "SessionJournal",
+]
+
+#: The state-mutating wire commands worth replaying. Read-only
+#: commands (``sql``, ``result``, ``render``, ``snapshot``,
+#: ``error_form``) are recomputed on demand and never journaled.
+JOURNALED_COMMANDS = frozenset(
+    {
+        "execute",
+        "select_results",
+        "zoom",
+        "select_inputs",
+        "set_metric",
+        "debug",
+        "apply",
+        "undo",
+        "redo",
+    }
+)
+
+
+def _digest(name: str) -> str:
+    """A filesystem-safe stem for arbitrary session names."""
+    return hashlib.blake2b(name.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def _crc(seq: int, cmd: str, args: dict) -> str:
+    canonical = json.dumps(
+        {"seq": seq, "cmd": cmd, "args": args}, sort_keys=True
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class LoadedJournal:
+    """The replayable content of one journal file."""
+
+    __slots__ = ("name", "dataset", "records", "corrupt_records")
+
+    def __init__(self, name, dataset, records, corrupt_records):
+        self.name = name
+        self.dataset = dataset
+        #: ``(cmd, args)`` pairs in execution order (open record excluded).
+        self.records = records
+        #: Lines dropped by the checksum/shape check (replay truncated).
+        self.corrupt_records = corrupt_records
+
+
+class SessionJournal:
+    """One live session's record list plus its on-disk mirror."""
+
+    __slots__ = ("store", "name", "dataset", "records")
+
+    def __init__(self, store: "JournalStore", name: str, dataset: str):
+        self.store = store
+        self.name = name
+        self.dataset = dataset
+        self.records = [
+            {
+                "seq": 0,
+                "cmd": "open",
+                "args": {"name": name, "dataset": dataset},
+            }
+        ]
+        self.records[0]["crc"] = _crc(0, "open", self.records[0]["args"])
+        self.publish()
+
+    def append(self, cmd: str, args: dict) -> None:
+        args = jsonify(args if isinstance(args, dict) else {})
+        seq = len(self.records)
+        self.records.append(
+            {"seq": seq, "cmd": cmd, "args": args, "crc": _crc(seq, cmd, args)}
+        )
+        self.publish()
+
+    def publish(self) -> None:
+        self.store._publish(self.name, self.records)
+
+
+class JournalStore:
+    """All journals under one directory (``<data_dir>/journal``)."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._appends = 0
+        self._publish_failures = 0
+        self._corrupt_records = 0
+
+    def path_for(self, name: str) -> Path:
+        return self.directory / f"{_digest(name)}.jsonl"
+
+    def create(self, name: str, dataset: str) -> SessionJournal:
+        """A fresh journal for a (re)opened session — truncates any
+        prior file: an explicit ``open`` starts a new history."""
+        return SessionJournal(self, name, dataset)
+
+    def _publish(self, name: str, records: list[dict]) -> None:
+        target = self.path_for(name)
+        staging = target.parent / f".{target.stem}.tmp-{os.getpid()}"
+        plan = faults.active_plan()
+        try:
+            lines = []
+            for record in records:
+                line = json.dumps(record, sort_keys=True)
+                if plan is not None and plan.corrupts_record(
+                    name, record["seq"]
+                ):
+                    # Scripted corruption: keep the line parseable but
+                    # fail its checksum, exercising the replay guard.
+                    line = json.dumps(
+                        {**record, "crc": "0" * 16}, sort_keys=True
+                    )
+                lines.append(line)
+            staging.write_text("\n".join(lines) + "\n")
+            os.replace(staging, target)
+        except OSError:
+            with self._lock:
+                self._publish_failures += 1
+            try:
+                staging.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        with self._lock:
+            self._appends += 1
+
+    def peek(self, name: str) -> str | None:
+        """The dataset a journaled session belongs to, or ``None``."""
+        loaded = self.load(name)
+        return loaded.dataset if loaded is not None else None
+
+    def load(self, name: str) -> LoadedJournal | None:
+        """Parse a journal, keeping the longest valid record prefix."""
+        try:
+            text = self.path_for(name).read_text()
+        except OSError:
+            return None
+        records: list[tuple[str, dict]] = []
+        dataset = None
+        corrupt = 0
+        for expected_seq, line in enumerate(text.splitlines()):
+            record = self._parse_record(line, expected_seq)
+            if record is None:
+                corrupt = 1
+                break
+            if expected_seq == 0:
+                if record["cmd"] != "open" or record["args"].get("name") != name:
+                    return None
+                dataset = record["args"].get("dataset")
+            else:
+                records.append((record["cmd"], record["args"]))
+        if dataset is None:
+            return None
+        if corrupt:
+            with self._lock:
+                self._corrupt_records += 1
+        return LoadedJournal(name, dataset, records, corrupt)
+
+    @staticmethod
+    def _parse_record(line: str, expected_seq: int) -> dict | None:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        seq, cmd, args = record.get("seq"), record.get("cmd"), record.get("args")
+        if seq != expected_seq or not isinstance(cmd, str):
+            return None
+        if not isinstance(args, dict):
+            return None
+        if record.get("crc") != _crc(seq, cmd, args):
+            return None
+        return record
+
+    def exists(self, name: str) -> bool:
+        return self.path_for(name).exists()
+
+    def discard(self, name: str) -> None:
+        """Forget a closed session's history (close is deliberate)."""
+        try:
+            self.path_for(name).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def sessions(self) -> int:
+        """How many journal files exist right now."""
+        return sum(1 for _ in self.directory.glob("*.jsonl"))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "directory": str(self.directory),
+                "sessions": self.sessions(),
+                "appends": self._appends,
+                "publish_failures": self._publish_failures,
+                "corrupt_records": self._corrupt_records,
+            }

@@ -22,11 +22,28 @@ class name, so clients can distinguish user mistakes
     {"id": 7, "ok": false, "error": {"kind": "SessionError",
                                      "message": "select ... first"}}
 
-The multi-process front end adds two kinds of its own: a request whose
+The multi-process front end adds kinds of its own: a request whose
 worker process died mid-flight gets ``WorkerCrashed`` (the worker is
-respawned; reopen the session and retry) and one whose worker stopped
-answering gets ``WorkerTimeout`` — a routed request always ends in an
-envelope, never a hung connection.
+respawned) and one whose worker stopped answering gets
+``WorkerTimeout`` — a routed request always ends in an envelope, never
+a hung connection. When the server runs with a data dir, the router
+first *heals* such requests transparently: every mutating command is
+journaled per session, and on a crash the router replays the journal
+on a replica (or the respawned primary) and re-sends the request, so
+these kinds surface only after failover is exhausted. ``NoJournal``
+marks the one unrecoverable case — a session with neither live state
+nor a journal to replay.
+
+Three lifecycle commands ride the same framing on the routed tier:
+``recover`` (``args: {"session": ...}`` or the ``session`` field)
+replays one session's journal where it belongs; ``drain``
+(``args: {"worker": N, "deadline": S, "restart": bool}``) takes a
+worker out of rotation gracefully — waits out in-flight work, flushes
+journals, hands placements to replicas, optionally restarts the
+process; ``resize`` (``args: {"workers": N}``) grows or shrinks the
+pool, rebalancing placements by replay. On the single-process tier
+``recover`` works the same (journals permitting) while ``drain``/
+``resize`` return a structured ``ServiceError``.
 
 The async gateway (:mod:`repro.service.async_server`) adds two more
 wire forms. A request shed by admission control or per-client rate
@@ -50,7 +67,11 @@ round::
 Partial frames are marked ``"partial": true`` and carry no ``ok`` key;
 the exchange always ends with one ordinary final envelope that is
 byte-identical to the non-streamed response. Both additions are why
-``PROTOCOL_VERSION`` is 2.
+``PROTOCOL_VERSION`` is 2. Partial frames also cross the worker pipe
+on the routed tier (the threaded server and the gateway both forward
+them), with one caveat: a mid-stream failover replays the stream from
+the replica, so partial frames are at-least-once — the final envelope
+is exact either way.
 
 Telemetry rides the same framing. Every response envelope is stamped
 with a top-level ``"trace"`` string — the request's trace id — and a

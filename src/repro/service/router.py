@@ -18,6 +18,24 @@ dataset and records the session→worker assignment, and every
 session-scoped command follows that assignment. Unknown sessions are
 rejected at the front without a worker round-trip, mirroring the
 ``UnknownSession`` error the in-process manager raises.
+
+**Self-healing** (PR 10): each dataset now has a deterministic replica
+*set* (:meth:`HashRing.nodes_for`), not a single owner. A session
+command that comes back ``WorkerCrashed``/``WorkerTimeout`` fails over
+along that set with jittered, bounded backoff: the router first sends
+``recover`` to the candidate — the worker replays the session's
+journal (:mod:`repro.service.journal`) off the shared data dir — then
+re-forwards the original request and moves the placement. Per-worker
+circuit breakers trip after consecutive failures and half-open on a
+timer, steering both failover and new-session placement away from a
+flapping worker. Without a data dir there is no journal to replay, so
+the pre-PR-10 semantics hold: crashes drop placements and clients
+reopen. ``drain`` stops admitting sessions to one worker, waits out
+its in-flight requests (deadline-bounded), flushes its journals, hands
+its placements to replicas, and optionally restarts the process —
+the rolling-restart verb. ``resize`` grows or shrinks the pool and
+rebalances placements by the same replay mechanism instead of
+dropping them.
 """
 
 from __future__ import annotations
@@ -25,19 +43,27 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+import os
+import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Hashable, Iterator, Sequence
+from typing import Callable, Hashable, Iterator, Sequence
 
-from ..errors import ReproError
+from ..errors import ReproError, ServiceError
 from ..obs import logs as obs_logs
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.flags import enabled as obs_enabled
-from . import protocol
+from . import faults, protocol
+from .cache import DATA_DIR_ENV
 from .handlers import SLOW_LOG_LIMIT, _SERVER_HANDLERS, _SESSION_HANDLERS
+from .journal import JournalStore
 from .workers import WorkerPool
+
+#: Error kinds that trigger failover to a replica (crash-class only:
+#: logical errors like UnknownSession get in-place recovery instead).
+FAILOVER_KINDS = frozenset({"WorkerCrashed", "WorkerTimeout"})
 
 
 class HashRing:
@@ -72,6 +98,92 @@ class HashRing:
         position = bisect.bisect_right(self._hashes, self._hash(str(key)))
         return self._nodes[position % len(self._nodes)]
 
+    def nodes_for(self, key: str, n: int) -> list[Hashable]:
+        """The first ``n`` distinct nodes clockwise of ``key``'s hash.
+
+        ``nodes_for(key, n)[0] == node_for(key)`` always, and the list
+        for ``n`` is a prefix of the list for ``n + 1`` — so the replica
+        set is as stable under ring changes as the primary assignment
+        itself. With fewer than ``n`` distinct nodes the full node set
+        is returned.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        start = bisect.bisect_right(self._hashes, self._hash(str(key)))
+        nodes: list[Hashable] = []
+        for offset in range(len(self._nodes)):
+            node = self._nodes[(start + offset) % len(self._nodes)]
+            if node not in nodes:
+                nodes.append(node)
+                if len(nodes) == n:
+                    break
+        return nodes
+
+
+class CircuitBreaker:
+    """A per-worker trip switch over consecutive failures.
+
+    Closed (healthy) until ``threshold`` consecutive failures open it;
+    while open every :meth:`allow` is refused until ``reset_seconds``
+    elapse, after which exactly one probe is admitted (half-open). The
+    probe's outcome settles it: success closes the breaker, failure
+    re-opens it for another full reset window. The clock is injectable
+    so tests drive transitions deterministically.
+    """
+
+    _STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        reset_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_value(self) -> int:
+        """The state as a gauge value (0 closed, 1 half-open, 2 open)."""
+        return self._STATE_VALUES[self.state]
+
+    def allow(self) -> bool:
+        """May a request be sent now? Consumes the half-open probe."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.reset_seconds:
+                    self._state = "half_open"
+                    return True
+                return False
+            # half-open: the single probe is already in flight.
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+
 
 class RoutingDispatcher:
     """Scatter-gather front end over a :class:`WorkerPool`.
@@ -84,18 +196,113 @@ class RoutingDispatcher:
     concurrently via ``asyncio.gather`` on the async path.
     """
 
-    #: Partial debug frames cannot cross the worker pipe (the pipeline
-    #: runs in another process); routed ``debug`` streams degrade to the
-    #: final envelope only.
-    supports_streaming = False
+    #: Workers forward partial debug frames back over the pipe (the
+    #: reader thread invokes ``on_partial`` per frame), so routed
+    #: ``debug`` streams end to end.
+    supports_streaming = True
 
-    def __init__(self, pool: WorkerPool, replicas: int = 64):
+    def __init__(
+        self,
+        pool: WorkerPool,
+        replicas: int = 64,
+        n_replicas: int = 2,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 5.0,
+        max_failover_attempts: int | None = None,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        data_dir: str | os.PathLike | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ):
         self.pool = pool
+        self._ring_points = replicas
         self.ring = HashRing(list(range(len(pool))), replicas=replicas)
+        #: Replica-set width: each dataset has this many candidate
+        #: workers (clamped to the pool size).
+        self.n_replicas = max(1, min(int(n_replicas), len(pool)))
+        self._max_failover_attempts = max_failover_attempts
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_seconds = breaker_reset_seconds
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
         self._lock = threading.Lock()
         #: session name -> (worker index, dataset name)
         self._placements: dict[str, tuple[int, str]] = {}
         self._routed = 0
+        #: The router's own view of the shared journal directory: used
+        #: to *peek* (does a journal exist, which dataset) so unplaced
+        #: sessions can be re-admitted after a front-end restart. The
+        #: actual replay happens worker-side via the ``recover`` command.
+        if data_dir is None:
+            data_dir = os.environ.get(DATA_DIR_ENV) or None
+        self.journals = (
+            JournalStore(os.path.join(os.fspath(data_dir), "journal"))
+            if data_dir is not None
+            else None
+        )
+        # Register the fault-tolerance metrics at construction so they
+        # appear in cluster expositions at zero even before the first
+        # failover (the CORE_METRICS acceptance relies on this).
+        reg = obs_metrics.registry()
+        self._m_drains = reg.counter(
+            "dbwipes_drains_total",
+            help="Drain operations completed on the worker tier.",
+        )
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._m_failovers: dict[int, obs_metrics.Counter] = {}
+        self._m_breaker: dict[int, obs_metrics.Gauge] = {}
+        for index in range(len(pool)):
+            self._track_worker(index)
+
+    def _track_worker(self, index: int) -> None:
+        """Breaker + metrics for one worker index (idempotent)."""
+        if index in self._breakers:
+            return
+        reg = obs_metrics.registry()
+        self._breakers[index] = CircuitBreaker(
+            threshold=self._breaker_threshold,
+            reset_seconds=self._breaker_reset_seconds,
+            clock=self._clock,
+        )
+        self._m_failovers[index] = reg.counter(
+            "dbwipes_failovers_total",
+            labels={"worker": str(index)},
+            help="Failed-over requests, by the worker that failed.",
+        )
+        gauge = reg.gauge(
+            "dbwipes_breaker_state",
+            labels={"worker": str(index)},
+            help="Circuit breaker state (0 closed, 1 half-open, 2 open).",
+        )
+        gauge.set(0)
+        self._m_breaker[index] = gauge
+
+    def _breaker_success(self, worker: int) -> None:
+        breaker = self._breakers.get(worker)
+        if breaker is None:
+            return
+        breaker.record_success()
+        self._m_breaker[worker].set(breaker.state_value)
+
+    def _breaker_failure(self, worker: int) -> None:
+        breaker = self._breakers.get(worker)
+        if breaker is None:
+            return
+        breaker.record_failure()
+        self._m_breaker[worker].set(breaker.state_value)
+
+    def _breaker_allows(self, worker: int) -> bool:
+        breaker = self._breakers.get(worker)
+        if breaker is None:
+            return True
+        allowed = breaker.allow()
+        self._m_breaker[worker].set(breaker.state_value)
+        return allowed
 
     # -- dispatch entry ------------------------------------------------
 
@@ -109,8 +316,11 @@ class RoutingDispatcher:
         message's ``trace`` field, and the response envelope is stamped
         with the trace id so clients can recover the full span tree.
 
-        ``emit_partial`` is accepted for dispatcher-interface parity and
-        ignored: see :attr:`supports_streaming`.
+        ``emit_partial(seq, payload)`` — when provided and the request
+        asks for a stream — receives each partial frame a worker sends
+        back over the pipe, ahead of the returned terminating envelope.
+        A mid-stream failover replays the stream from the replica, so
+        partial frames are at-least-once; the final envelope is exact.
         """
         request_id = message.get("id")
         try:
@@ -120,7 +330,7 @@ class RoutingDispatcher:
             return protocol.error_response(request_id, kind, str(error))
         with self._request_scope(cmd, session, message) as holder:
             holder["envelope"] = self._dispatch(
-                request_id, cmd, session, args, message
+                request_id, cmd, session, args, message, emit_partial
             )
         return holder["envelope"]
 
@@ -139,7 +349,7 @@ class RoutingDispatcher:
             return protocol.error_response(request_id, kind, str(error))
         with self._request_scope(cmd, session, message) as holder:
             holder["envelope"] = await self._dispatch_async(
-                request_id, cmd, session, args, message
+                request_id, cmd, session, args, message, emit_partial
             )
         return holder["envelope"]
 
@@ -184,7 +394,13 @@ class RoutingDispatcher:
             holder["envelope"]["trace"] = stamped_trace
 
     def _dispatch(
-        self, request_id, cmd: str, session: str | None, args: dict, message: dict
+        self,
+        request_id,
+        cmd: str,
+        session: str | None,
+        args: dict,
+        message: dict,
+        emit_partial=None,
     ) -> dict:
         if cmd == "ping":
             return self._pong(request_id)
@@ -221,16 +437,26 @@ class RoutingDispatcher:
             name, dataset, worker = checked
             envelope = self._forward(worker, "open", message)
             return self._open_finish(envelope, worker, name, dataset)
+        if cmd == "recover":
+            return self._recover_command(request_id, session, args)
+        if cmd == "drain":
+            return self._drain_command(request_id, args)
+        if cmd == "resize":
+            return self._resize_command(request_id, args)
         if cmd in _SESSION_HANDLERS:
-            checked = self._route_check(request_id, cmd, session)
-            if isinstance(checked, dict):
-                return checked
-            envelope = self._forward(checked, cmd, message)
-            return self._route_finish(envelope, cmd, session, checked)
+            return self._route_session(
+                request_id, cmd, session, args, message, emit_partial
+            )
         return self._unknown_command(request_id, cmd)
 
     async def _dispatch_async(
-        self, request_id, cmd: str, session: str | None, args: dict, message: dict
+        self,
+        request_id,
+        cmd: str,
+        session: str | None,
+        args: dict,
+        message: dict,
+        emit_partial=None,
     ) -> dict:
         if cmd == "ping":
             return self._pong(request_id)
@@ -262,20 +488,15 @@ class RoutingDispatcher:
                 dropped,
                 await self._broadcast_async("trace", explicit),
             )
-        if cmd == "open":
-            checked = self._open_check(request_id, args)
-            if isinstance(checked, dict):
-                return checked
-            name, dataset, worker = checked
-            envelope = await self._forward_async(worker, "open", message)
-            return self._open_finish(envelope, worker, name, dataset)
-        if cmd in _SESSION_HANDLERS:
-            checked = self._route_check(request_id, cmd, session)
-            if isinstance(checked, dict):
-                return checked
-            envelope = await self._forward_async(checked, cmd, message)
-            return self._route_finish(envelope, cmd, session, checked)
-        return self._unknown_command(request_id, cmd)
+        # open / session commands / recover / drain / resize share the
+        # synchronous failover machinery (bounded retries, backoff
+        # sleeps, drain waits) — run it on a worker thread so retries
+        # never stall the event loop. Concurrency is already bounded
+        # upstream by the gateway's admission gate, and the gateway's
+        # emit callbacks marshal onto the loop thread-safely.
+        return await asyncio.to_thread(
+            self._dispatch, request_id, cmd, session, args, message, emit_partial
+        )
 
     def _pong(self, request_id) -> dict:
         return protocol.ok_response(
@@ -296,17 +517,24 @@ class RoutingDispatcher:
 
     # -- traced worker forwards ----------------------------------------
 
-    def _forward(self, worker: int, cmd: str, message: dict) -> dict:
+    def _forward(
+        self, worker: int, cmd: str, message: dict, on_partial=None
+    ) -> dict:
         """One worker call under a ``router.<cmd>`` span.
 
         The span's context is injected into the forwarded message's
         ``trace`` field, so the worker's ``worker.<cmd>`` span (and the
         pipeline stages underneath) link into the front end's trace.
         """
+        plan = faults.active_plan()
+        if plan is not None:
+            delay = plan.delay_before(cmd)
+            if delay > 0:
+                self._sleep(delay)
         with obs_trace.span(f"router.{cmd}", worker=worker) as span:
             context = obs_trace.wire_context(span)
             forwarded = {**message, "trace": context} if context else message
-            return self.pool.call(worker, forwarded)
+            return self.pool.call(worker, forwarded, on_partial=on_partial)
 
     def _broadcast(self, cmd: str, message: dict) -> list[dict]:
         """The forward above, fanned out to every worker in order."""
@@ -574,7 +802,29 @@ class RoutingDispatcher:
                 f"session {name!r} is open on dataset {placement[1]!r}; "
                 f"close it before reopening on {dataset!r}",
             )
-        return name, dataset, int(self.ring.node_for(dataset))
+        return name, dataset, self._placement_target(dataset)
+
+    def _placement_target(self, dataset: str) -> int:
+        """The first admissible worker in the dataset's replica set.
+
+        The ring primary wins unless it is draining or its breaker is
+        open, in which case placement slides to the next replica —
+        new sessions steer around a flapping or departing worker. Falls
+        back to the primary when every candidate is inadmissible.
+        """
+        candidates = [
+            int(node) for node in self.ring.nodes_for(dataset, self.n_replicas)
+        ]
+        for worker in candidates:
+            if worker >= len(self.pool):
+                continue
+            if self.pool.workers[worker].draining:
+                continue
+            breaker = self._breakers.get(worker)
+            if breaker is not None and breaker.state == "open":
+                continue
+            return worker
+        return candidates[0]
 
     def _open_finish(
         self, envelope: dict, worker: int, name: str, dataset: str
@@ -585,16 +835,30 @@ class RoutingDispatcher:
                 self._placements[name] = (worker, dataset)
                 self._routed += 1
             protocol.annotate_worker(envelope, worker)
-        elif self._crashed(envelope):
+        elif self._crashed(envelope) and self.journals is None:
+            # No journals → sessions die with their process; drop their
+            # placements so clients get a fast UnknownSession. With a
+            # journal tier the placements stay and heal lazily by replay.
             self._drop_worker_placements(worker)
         return envelope
 
-    def _route_check(
-        self, request_id, cmd: str, session: str | None
-    ) -> dict | int:
-        """Resolve a session-scoped command's worker from its placement.
+    def _route_session(
+        self,
+        request_id,
+        cmd: str,
+        session: str | None,
+        args: dict,
+        message: dict,
+        emit_partial=None,
+    ) -> dict:
+        """Route one session-scoped command, healing as needed.
 
-        Returns an error envelope, or the owning worker index.
+        Without a journal tier this is the pre-PR-10 path: resolve the
+        placement, forward once, and let crashes drop placements. With
+        journals it becomes the self-healing path: unplaced-but-journaled
+        sessions are adopted, worker-side ``UnknownSession`` (a respawned
+        or evicted worker) triggers in-place replay, and crash-class
+        errors fail over along the dataset's replica set.
         """
         if not session:
             return protocol.error_response(
@@ -605,17 +869,198 @@ class RoutingDispatcher:
         with self._lock:
             placement = self._placements.get(session)
         if placement is None:
+            placement = self._adopt(session)
+        if placement is None:
             return protocol.error_response(
                 request_id,
                 "UnknownSession",
                 f"unknown session {session!r}; open it first",
             )
-        return placement[0]
+        worker, dataset = placement
+        on_partial = None
+        if emit_partial is not None and args.get("stream"):
+
+            def on_partial(envelope, _emit=emit_partial):
+                _emit(envelope.get("seq", 0), envelope.get("result"))
+
+        if self.journals is None:
+            envelope = self._forward(worker, cmd, message, on_partial=on_partial)
+            return self._route_finish(envelope, cmd, session, worker)
+        return self._route_with_failover(
+            request_id, cmd, session, dataset, worker, message, on_partial
+        )
+
+    def _adopt(self, session: str) -> tuple[int, str] | None:
+        """Re-admit a journaled session that has no placement.
+
+        This is how sessions survive a front-end restart: the placement
+        map is in-memory, but the journal names the dataset, so the
+        session is re-placed on the dataset's current primary and the
+        first forwarded command heals it by replay (the worker answers
+        ``UnknownSession``, the router recovers in place and re-sends).
+        """
+        if self.journals is None or not self.journals.exists(session):
+            return None
+        dataset = self.journals.peek(session)
+        if dataset is None:
+            return None
+        worker = self._placement_target(dataset)
+        with self._lock:
+            current = self._placements.get(session)
+            if current is None:
+                current = (worker, dataset)
+                self._placements[session] = current
+        return current
+
+    def _route_with_failover(
+        self,
+        request_id,
+        cmd: str,
+        session: str,
+        dataset: str,
+        worker: int,
+        message: dict,
+        on_partial=None,
+    ) -> dict:
+        """Forward with replay-based healing and replica failover.
+
+        The candidate list is ``[primary, replicas…, primary]`` — the
+        final entry retries the primary once more because a crashed
+        worker has been respawned by the time the replicas were tried.
+        Attempt 0 is a plain forward; every later attempt backs off
+        (jittered, honouring ``retry_after``) and replays the session's
+        journal on the candidate before re-sending the command.
+        """
+        candidates = [worker]
+        for node in self.ring.nodes_for(dataset, self.n_replicas):
+            node = int(node)
+            if node != worker and node < len(self.pool):
+                candidates.append(node)
+        candidates.append(worker)
+        if self._max_failover_attempts is not None:
+            candidates = candidates[: max(1, int(self._max_failover_attempts))]
+        last_envelope: dict | None = None
+        attempted = False
+        for attempt, target in enumerate(candidates):
+            if attempt:
+                if not self._breaker_allows(target):
+                    continue
+                self._failover_backoff(attempt, last_envelope)
+                recovered = self._recover_on(target, session)
+                if recovered is None:
+                    break  # no journal: replay impossible, stop here
+                if not recovered:
+                    self._breaker_failure(target)
+                    continue
+            elif not self._breaker_allows(target):
+                # Primary's breaker is open: skip straight to replicas.
+                last_envelope = protocol.error_response(
+                    request_id,
+                    "WorkerCrashed",
+                    f"worker {target} circuit breaker is open",
+                )
+                continue
+            attempted = True
+            envelope = self._forward(target, cmd, message, on_partial=on_partial)
+            last_envelope = envelope
+            kind = self._error_kind(envelope)
+            if kind == "UnknownSession" and cmd != "close":
+                # Healthy worker, lost session (respawn/eviction/adopted
+                # placement): replay in place once and re-send.
+                if self._recover_on(target, session) is True:
+                    envelope = self._forward(
+                        target, cmd, message, on_partial=on_partial
+                    )
+                    last_envelope = envelope
+                    kind = self._error_kind(envelope)
+            if kind in FAILOVER_KINDS:
+                self._breaker_failure(target)
+                if obs_enabled() and target in self._m_failovers:
+                    self._m_failovers[target].inc()
+                continue
+            self._breaker_success(target)
+            return self._failover_finish(
+                envelope, cmd, session, dataset, worker, target
+            )
+        if not attempted:
+            # Every candidate was inadmissible (breakers open): force one
+            # real attempt at the primary rather than failing on a guess.
+            envelope = self._forward(worker, cmd, message, on_partial=on_partial)
+            return self._failover_finish(
+                envelope, cmd, session, dataset, worker, worker
+            )
+        # Exhausted (or journal-less): restore the legacy contract.
+        if last_envelope is not None and self._crashed(last_envelope):
+            self._drop_worker_placements(worker)
+        with self._lock:
+            self._routed += 1
+        return last_envelope
+
+    def _failover_finish(
+        self,
+        envelope: dict,
+        cmd: str,
+        session: str,
+        dataset: str,
+        worker: int,
+        target: int,
+    ) -> dict:
+        """Bookkeeping after a settled (non-crash) session command."""
+        with self._lock:
+            self._routed += 1
+            if envelope.get("ok") and target != worker:
+                self._placements[session] = (target, dataset)
+        if cmd == "close" and (
+            envelope.get("ok") or self._error_kind(envelope) == "UnknownSession"
+        ):
+            with self._lock:
+                self._placements.pop(session, None)
+            if self.journals is not None:
+                self.journals.discard(session)
+        return envelope
+
+    def _recover_on(self, target: int, session: str) -> bool | None:
+        """Ask ``target`` to replay ``session``'s journal.
+
+        Returns ``True`` when the session is live on the target (replayed
+        or already open there), ``False`` when the recover attempt itself
+        failed (crash/timeout on the target — try elsewhere), and
+        ``None`` when there is no journal (recovery impossible anywhere).
+        """
+        message = {
+            "id": f"recover::{session}",
+            "cmd": "recover",
+            "args": {"session": session},
+        }
+        envelope = self._forward(target, "recover", message)
+        if envelope.get("ok"):
+            return True
+        if self._error_kind(envelope) == "NoJournal":
+            return None
+        return False
+
+    def _failover_backoff(self, attempt: int, last_envelope: dict | None) -> None:
+        """Jittered exponential delay before failover attempt ``attempt``.
+
+        Honours the ``retry_after`` hint of the previous error envelope
+        when it asks for a longer wait than the schedule would.
+        """
+        delay = min(self._backoff_max, self._backoff_base * (2 ** (attempt - 1)))
+        delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+        error = (last_envelope or {}).get("error")
+        if isinstance(error, dict) and error.get("retry_after") is not None:
+            try:
+                delay = max(delay, float(error["retry_after"]))
+            except (TypeError, ValueError):
+                pass
+        if delay > 0:
+            self._sleep(delay)
 
     def _route_finish(
         self, envelope: dict, cmd: str, session: str | None, worker: int
     ) -> dict:
-        """Placement bookkeeping after a routed session command."""
+        """Placement bookkeeping after a routed session command
+        (journal-less mode — crashes lose sessions)."""
         with self._lock:
             self._routed += 1
         if cmd == "close" and (
@@ -629,6 +1074,240 @@ class RoutingDispatcher:
             # onto the respawned worker.
             self._drop_worker_placements(worker)
         return envelope
+
+    # -- recover / drain / resize --------------------------------------
+
+    def _recover_command(
+        self, request_id, session: str | None, args: dict
+    ) -> dict:
+        """Wire-level ``recover``: replay one session where it belongs."""
+        name = args.get("session") or session
+        if not isinstance(name, str) or not name:
+            return protocol.error_response(
+                request_id,
+                "ProtocolError",
+                "'recover' needs a non-empty 'session' (args or field)",
+            )
+        with self._lock:
+            placement = self._placements.get(name)
+        if placement is None:
+            placement = self._adopt(name)
+        if placement is None:
+            return protocol.error_response(
+                request_id,
+                "NoJournal",
+                f"session {name!r} has no placement and no journal to replay",
+            )
+        worker, _dataset = placement
+        envelope = self._forward(
+            worker,
+            "recover",
+            {"id": request_id, "cmd": "recover", "args": {"session": name}},
+        )
+        if envelope.get("ok"):
+            protocol.annotate_worker(envelope, worker)
+            self._breaker_success(worker)
+        with self._lock:
+            self._routed += 1
+        return envelope
+
+    def _drain_command(self, request_id, args: dict) -> dict:
+        worker = args.get("worker")
+        if isinstance(worker, bool) or not isinstance(worker, int):
+            return protocol.error_response(
+                request_id,
+                "ProtocolError",
+                "'drain' needs an integer 'worker' in args",
+            )
+        try:
+            deadline = float(args.get("deadline", 5.0))
+        except (TypeError, ValueError):
+            return protocol.error_response(
+                request_id, "ProtocolError", "'deadline' must be a number"
+            )
+        restart = bool(args.get("restart", False))
+        try:
+            summary = self.drain(worker, deadline=deadline, restart=restart)
+        except ReproError as error:
+            kind = getattr(error, "kind", None) or type(error).__name__
+            return protocol.error_response(request_id, kind, str(error))
+        return protocol.ok_response(request_id, summary)
+
+    def _resize_command(self, request_id, args: dict) -> dict:
+        workers = args.get("workers")
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            return protocol.error_response(
+                request_id,
+                "ProtocolError",
+                "'resize' needs an integer 'workers' in args",
+            )
+        try:
+            summary = self.resize(workers)
+        except ReproError as error:
+            kind = getattr(error, "kind", None) or type(error).__name__
+            return protocol.error_response(request_id, kind, str(error))
+        return protocol.ok_response(request_id, summary)
+
+    def drain(
+        self, worker: int, deadline: float = 5.0, restart: bool = False
+    ) -> dict:
+        """Gracefully take one worker out of rotation.
+
+        Stops new-session admission (the draining flag steers
+        :meth:`_placement_target` away), waits for the worker's in-flight
+        requests bounded by ``deadline`` seconds, asks it to flush every
+        live session's journal (``drain_prepare`` — which also repairs
+        journals corrupted on disk, the in-memory records being
+        authoritative), then hands its placements to replicas by replay.
+        With ``restart=True`` the worker process is finally replaced and
+        re-admitted — the rolling-restart primitive.
+        """
+        worker = int(worker)
+        if not 0 <= worker < len(self.pool):
+            raise ServiceError(
+                f"worker index {worker} out of range (pool has {len(self.pool)})"
+            )
+        handle = self.pool.workers[worker]
+        handle.draining = True
+        start = self._clock()
+        deadline_at = start + max(0.0, deadline)
+        while handle.in_flight > 0 and self._clock() < deadline_at:
+            self._sleep(0.02)
+        waited = self._clock() - start
+        residual = handle.in_flight
+        journaled = 0
+        prepare = self._forward(
+            worker,
+            "drain_prepare",
+            {"id": f"drain::{worker}", "cmd": "drain_prepare", "args": {}},
+        )
+        if prepare.get("ok"):
+            journaled = int(prepare["result"].get("journaled", 0))
+        moved = failed = kept = 0
+        with self._lock:
+            owned = [
+                (name, placement[1])
+                for name, placement in self._placements.items()
+                if placement[0] == worker
+            ]
+        for name, dataset in owned:
+            target = self._handoff_target(worker, dataset)
+            if target is None or self.journals is None:
+                kept += 1
+                continue
+            if self._recover_on(target, name) is True:
+                with self._lock:
+                    self._placements[name] = (target, dataset)
+                moved += 1
+            else:
+                failed += 1
+        restarted = False
+        if restart:
+            restarted = handle.restart()
+            handle.draining = False
+            self._breaker_success(worker)
+        if obs_enabled():
+            self._m_drains.inc()
+        return {
+            "worker": worker,
+            "waited_seconds": waited,
+            "residual_in_flight": residual,
+            "journaled": journaled,
+            "sessions_moved": moved,
+            "sessions_failed": failed,
+            "sessions_kept": kept,
+            "restarted": restarted,
+            "draining": handle.draining,
+        }
+
+    def _handoff_target(self, worker: int, dataset: str) -> int | None:
+        """Where a draining worker's session should land: the first
+        admissible replica, else any healthy worker, else nowhere."""
+        candidates = [
+            int(node) for node in self.ring.nodes_for(dataset, self.n_replicas)
+        ]
+        candidates += [
+            index for index in range(len(self.pool)) if index not in candidates
+        ]
+        for index in candidates:
+            if index == worker or index >= len(self.pool):
+                continue
+            if self.pool.workers[index].draining:
+                continue
+            breaker = self._breakers.get(index)
+            if breaker is not None and breaker.state == "open":
+                continue
+            return index
+        return None
+
+    def resize(self, n_workers: int) -> dict:
+        """Grow or shrink the worker tier, rebalancing placements.
+
+        Shrinking flushes the doomed workers' journals, replays each of
+        their sessions onto the new ring's owner, and only then closes
+        the processes — journaled sessions move instead of dying.
+        Sessions without a journal tier are dropped with a count.
+        Growing spawns workers and rebuilds the ring; existing placements
+        stay put (consistent hashing moves only new opens).
+        """
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise ServiceError("resize needs at least one worker")
+        old = len(self.pool)
+        moved = dropped = 0
+        if n_workers < old:
+            new_ring = HashRing(
+                list(range(n_workers)), replicas=self._ring_points
+            )
+            for index in range(n_workers, old):
+                self.pool.workers[index].draining = True
+                self._forward(
+                    index,
+                    "drain_prepare",
+                    {
+                        "id": f"resize::{index}",
+                        "cmd": "drain_prepare",
+                        "args": {},
+                    },
+                )
+            with self._lock:
+                doomed = [
+                    (name, placement)
+                    for name, placement in self._placements.items()
+                    if placement[0] >= n_workers
+                ]
+            for name, (_index, dataset) in doomed:
+                target = int(new_ring.node_for(dataset))
+                if (
+                    self.journals is not None
+                    and self._recover_on(target, name) is True
+                ):
+                    with self._lock:
+                        self._placements[name] = (target, dataset)
+                    moved += 1
+                else:
+                    with self._lock:
+                        self._placements.pop(name, None)
+                    dropped += 1
+            self.pool.resize(n_workers)
+            self.ring = new_ring
+            for index in range(n_workers, old):
+                self._breakers.pop(index, None)
+        else:
+            self.pool.resize(n_workers)
+            self.ring = HashRing(
+                list(range(n_workers)), replicas=self._ring_points
+            )
+            for index in range(old, n_workers):
+                self._track_worker(index)
+        with self._lock:
+            placements = len(self._placements)
+        return {
+            "workers": len(self.pool),
+            "sessions_moved": moved,
+            "sessions_dropped": dropped,
+            "placements": placements,
+        }
 
     # -- helpers -------------------------------------------------------
 

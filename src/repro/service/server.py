@@ -25,7 +25,13 @@ import socketserver
 import threading
 
 from .handlers import LocalDispatcher
-from .protocol import MAX_LINE_BYTES, decode_line, encode, error_response
+from .protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode,
+    error_response,
+    partial_response,
+)
 from .sessions import SessionManager
 
 
@@ -86,7 +92,35 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             message = decode_line(line)
         except Exception as error:
             return error_response(None, type(error).__name__, str(error))
-        return self.server.dispatcher.handle(message)
+        dispatcher = self.server.dispatcher
+        emit = None
+        if getattr(dispatcher, "supports_streaming", False):
+            args = message.get("args") if isinstance(message, dict) else None
+            if isinstance(args, dict) and args.get("stream"):
+                emit = self._make_emit(message.get("id"))
+        return dispatcher.handle(message, emit)
+
+    def _make_emit(self, request_id):
+        """A partial-frame writer for one streamed request.
+
+        Partials are written as they arrive (possibly from a worker
+        handle's reader thread) strictly before the dispatcher returns
+        the terminating envelope, so frame order on the wire matches
+        emit order. A client that went away mid-stream is tolerated —
+        the final write in :meth:`_write` reports the broken pipe.
+        """
+
+        def emit(seq: int, payload: dict) -> None:
+            try:
+                data = encode(partial_response(request_id, seq, payload))
+                if len(data) > MAX_LINE_BYTES:
+                    return  # skip the frame; the final envelope decides
+                self.wfile.write(data)
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                pass
+
+        return emit
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

@@ -45,6 +45,7 @@ class ManagedSession:
         "last_used",
         "requests",
         "busy",
+        "journal",
     )
 
     def __init__(
@@ -57,6 +58,9 @@ class ManagedSession:
         self.created_at = now
         self.last_used = now
         self.requests = 0
+        #: The session's :class:`~repro.service.journal.SessionJournal`
+        #: when the manager has a durable data dir, else None.
+        self.journal = None
         #: In-flight ``borrow()`` count (manager-lock protected). Evicting
         #: a session while a request runs on it would orphan that request
         #: and surface as UnknownSession on the next one, so eviction
@@ -110,6 +114,16 @@ class SessionManager:
                 disk = ArtifactStore(self.catalog.data_dir / "preprocess")
             preprocess_cache = PreprocessCache(disk=disk)
         self.preprocess_cache = preprocess_cache
+        # A durable data dir also enables session journaling: every
+        # state-mutating command lands in a per-session journal, so a
+        # crashed or drained worker's sessions can be replayed anywhere
+        # (see service/journal.py). Memory-only managers keep the old
+        # lose-on-crash semantics.
+        self.journals = None
+        if self.catalog.data_dir is not None:
+            from .journal import JournalStore
+
+            self.journals = JournalStore(self.catalog.data_dir / "journal")
         self._clock = clock
         self._lock = threading.Lock()
         #: name -> ManagedSession, in least-recently-used-first order.
@@ -134,6 +148,10 @@ class SessionManager:
         self._m_ttl = reg.counter(
             "dbwipes_session_ttl_evictions_total",
             help="Sessions reaped by TTL expiry.",
+        )
+        self._m_recovered = reg.counter(
+            "dbwipes_sessions_recovered_total",
+            help="Sessions rebuilt by replaying their journal.",
         )
 
     # ------------------------------------------------------------------
@@ -166,6 +184,11 @@ class SessionManager:
                 db, config=self.config, preprocess_cache=self.preprocess_cache
             )
             managed = ManagedSession(name, dataset, session, now)
+            if self.journals is not None:
+                # An explicit open starts a fresh history (truncating any
+                # stale journal left by an evicted predecessor); recovery
+                # replays *before* re-journaling through this same path.
+                managed.journal = self.journals.create(name, dataset)
             self._sessions[name] = managed
             self._mirror_open(+1)
             while len(self._sessions) > self.max_sessions:
@@ -245,6 +268,51 @@ class SessionManager:
                     f"unknown session {name!r}", kind="UnknownSession"
                 )
             self._mirror_open(-1)
+        if self.journals is not None:
+            # A deliberate close forgets the history too; only eviction
+            # and crashes leave the journal behind for recovery.
+            self.journals.discard(name)
+
+    # ------------------------------------------------------------------
+    # journaling & recovery
+    # ------------------------------------------------------------------
+
+    def record(self, name: str, cmd: str, args: dict) -> None:
+        """Journal one successfully executed state-mutating command.
+
+        Called by the dispatcher *after* the handler returns, so failed
+        commands never pollute the replay history. Publication failures
+        degrade (counted in the store) rather than failing the request.
+        """
+        with self._lock:
+            managed = self._sessions.get(name)
+            journal = managed.journal if managed is not None else None
+        if journal is not None:
+            journal.append(cmd, args)
+
+    def journal_all(self) -> int:
+        """Re-publish every live session's journal from memory.
+
+        The drain path calls this before handing sessions off: the
+        in-memory record list is authoritative, so this also repairs a
+        journal file that was corrupted or lost on disk.
+        """
+        if self.journals is None:
+            return 0
+        with self._lock:
+            journals = [
+                managed.journal
+                for managed in self._sessions.values()
+                if managed.journal is not None
+            ]
+        for journal in journals:
+            journal.publish()
+        return len(journals)
+
+    def mark_recovered(self) -> None:
+        """Count one journal-replay recovery (called by the dispatcher)."""
+        if obs_enabled():
+            self._m_recovered.inc()
 
     def evict_expired(self) -> int:
         """Reap TTL-expired sessions now; returns how many were dropped."""
@@ -275,6 +343,9 @@ class SessionManager:
                 "ttl_evictions": self._ttl_evictions,
                 "datasets": list(self.catalog.names),
                 "preprocess_cache": self.preprocess_cache.stats(),
+                "journal": (
+                    self.journals.stats() if self.journals is not None else None
+                ),
                 "backend": getattr(self.config, "backend", "in_process")
                 if self.config is not None
                 else "in_process",

@@ -19,8 +19,28 @@ A worker that dies — killed, OOMed, crashed — must never strand a
 client connection: the reader thread sees the pipe close, fails every
 pending call with a structured ``WorkerCrashed`` error envelope (the
 same ``kind`` convention every other service error uses), and respawns
-the process. Sessions that lived in the dead worker are gone; clients
-re-``open`` and the router re-routes them to the fresh process.
+the process. What happens to the dead worker's sessions depends on the
+durable tier: with a data dir, each session's journal
+(:mod:`repro.service.journal`) lets the router replay it onto a
+replica or the respawned process; without one, clients re-``open``.
+
+Streamed ``debug`` partials also cross the pipe: a worker emits
+``(token, partial_frame)`` tuples mid-dispatch and the reader routes
+them to the call's ``on_partial`` hook without completing the call, so
+the routed tier streams exactly like the in-process dispatcher.
+
+Two lifecycle verbs beyond crash-respawn: :meth:`WorkerHandle.restart`
+swaps in a fresh process (rolling restarts, via ``drain``), and
+:attr:`WorkerHandle.draining` marks a worker closed to *new* session
+placements while in-flight work finishes. Pool shutdown is two-phase —
+every handle is marked closed before any is reaped — so a worker crash
+that lands mid-``close()`` can no longer race the reader thread into
+respawning an orphan process.
+
+Deterministic fault injection (:mod:`repro.service.faults`) hooks the
+request path here: an active plan can SIGKILL a worker right after its
+Nth request hits the pipe, or discard a reply so the caller observes a
+``WorkerTimeout``.
 
 The ``fork`` start method is preferred (prebuilt catalogs and closures
 cross to the child without pickling); ``spawn`` is the fallback where
@@ -38,8 +58,9 @@ from typing import Any, Callable
 from ..errors import ServiceError
 from ..obs.flags import enabled as obs_enabled
 from ..obs.metrics import registry as obs_registry
+from . import faults
 from .cache import DatasetCatalog
-from .protocol import error_response
+from .protocol import error_response, partial_response
 
 #: Default seconds a routed call waits before giving up with a
 #: ``WorkerTimeout`` envelope (None = wait forever).
@@ -94,8 +115,23 @@ def _worker_main(
         if item is None:  # orderly shutdown sentinel
             break
         token, message = item
+        emit = None
+        if isinstance(message, dict):
+            args = message.get("args")
+            if isinstance(args, dict) and bool(args.get("stream")):
+                request_id = message.get("id")
+
+                def emit(seq, payload, _token=token, _rid=request_id):
+                    # Partial frames interleave with the final (token,
+                    # envelope) send on the same single-threaded loop,
+                    # so frame order on the pipe matches emit order.
+                    try:
+                        conn.send((_token, partial_response(_rid, seq, payload)))
+                    except (BrokenPipeError, OSError):
+                        pass
+
         try:
-            envelope = dispatch(manager, message, role="worker")
+            envelope = dispatch(manager, message, role="worker", emit_partial=emit)
         except BaseException as error:  # noqa: BLE001 — dispatch shields, belt and braces
             envelope = error_response(
                 message.get("id") if isinstance(message, dict) else None,
@@ -114,16 +150,24 @@ class _Pending:
 
     A blocking caller waits on ``event``; an asyncio caller additionally
     passes a ``callback`` invoked (from the reader thread) on completion
-    so the envelope can be marshalled onto the event loop.
+    so the envelope can be marshalled onto the event loop. Streamed
+    calls pass ``on_partial``, invoked (also from the reader thread) for
+    each partial frame *without* completing the call.
     """
 
-    __slots__ = ("request_id", "event", "envelope", "callback")
+    __slots__ = ("request_id", "event", "envelope", "callback", "on_partial")
 
-    def __init__(self, request_id: Any, callback: Callable[[dict], None] | None = None):
+    def __init__(
+        self,
+        request_id: Any,
+        callback: Callable[[dict], None] | None = None,
+        on_partial: Callable[[dict], None] | None = None,
+    ):
         self.request_id = request_id
         self.event = threading.Event()
         self.envelope: dict | None = None
         self.callback = callback
+        self.on_partial = on_partial
 
     def complete(self, envelope: dict) -> None:
         self.envelope = envelope
@@ -154,6 +198,9 @@ class WorkerHandle:
         self.call_timeout = call_timeout
         self.requests = 0
         self.restarts = 0
+        #: Set by the router's drain path: a draining worker serves its
+        #: in-flight and already-placed work but admits no new sessions.
+        self.draining = False
         # Parent-side failure telemetry: these counters live in the
         # front-end process (where crashes/timeouts are *observed*) and
         # join the cluster merge through the router's own snapshot.
@@ -183,6 +230,9 @@ class WorkerHandle:
         #: counter (sends are serialized; only the reader thread recvs).
         self._lock = threading.Lock()
         self._pending: dict[int, _Pending] = {}
+        #: Tokens whose replies a fault plan ordered discarded; the
+        #: reader drops them so the caller observes a WorkerTimeout.
+        self._drop_tokens: set[int] = set()
         self._next_token = 0
         self._generation = 0
         self._closed = False
@@ -221,27 +271,106 @@ class WorkerHandle:
         )
         reader.start()
 
-    def close(self) -> None:
-        """Orderly shutdown: sentinel, join briefly, then terminate."""
+    def request_close(self) -> None:
+        """Phase one of shutdown: latch the closed flag and nudge.
+
+        Once the flag is up the reader thread can never respawn this
+        worker again — crashes that land between now and :meth:`reap`
+        strand no orphan process. Idempotent; never blocks.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            conn, process = self._conn, self.process
             try:
-                conn.send(None)
+                self._conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        process.join(timeout=2)
-        if process.is_alive():
-            process.terminate()
+
+    def reap(self) -> None:
+        """Phase two of shutdown: join, escalate to terminate, clean up."""
+        with self._lock:
+            conn, process = self._conn, self.process
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        if process is not None:
             process.join(timeout=2)
-        conn.close()
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        for pending in stranded:
+            pending.complete(
+                error_response(
+                    pending.request_id, "WorkerCrashed", "worker pool is closed"
+                )
+            )
+
+    def close(self) -> None:
+        """Orderly shutdown: sentinel, join briefly, then terminate."""
+        self.request_close()
+        self.reap()
+
+    def restart(self) -> bool:
+        """Swap in a fresh worker process (the rolling-restart verb).
+
+        Unlike a crash respawn this is deliberate: the old process gets
+        the shutdown sentinel and a bounded join before termination,
+        and any in-flight calls (the drain path waits those out first,
+        so normally none) fail with a structured envelope. Returns
+        False when the handle is already closed.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            old_conn, old_process = self._conn, self.process
+            stranded = list(self._pending.values())
+            self._pending.clear()
+            self._drop_tokens.clear()
+            try:
+                old_conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            # Bumping the generation inside _spawn_locked makes the old
+            # reader thread exit silently at EOF instead of respawning.
+            self._spawn_locked()
+            self.restarts += 1
+        old_process.join(timeout=5)
+        if old_process.is_alive():
+            old_process.terminate()
+            old_process.join(timeout=2)
+        try:
+            old_conn.close()
+        except OSError:
+            pass
+        for pending in stranded:
+            pending.complete(
+                error_response(
+                    pending.request_id,
+                    "WorkerCrashed",
+                    f"worker {self.index} restarted while handling the request",
+                )
+            )
+        return True
 
     @property
     def alive(self) -> bool:
         """Whether the current worker process is running."""
         return self.process is not None and self.process.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        """Calls sent and not yet answered (the drain path polls this)."""
+        with self._lock:
+            return len(self._pending)
 
     # -- request path --------------------------------------------------
 
@@ -251,6 +380,10 @@ class WorkerHandle:
         Returns the pipe token on success so the caller can cancel the
         pending entry on its own timeout path.
         """
+        plan = faults.active_plan()
+        kill_now = drop_reply = False
+        if plan is not None:
+            kill_now, drop_reply = plan.worker_request(self.index)
         with self._lock:
             if self._closed:
                 return error_response(
@@ -259,6 +392,8 @@ class WorkerHandle:
             token = self._next_token
             self._next_token += 1
             self._pending[token] = pending
+            if drop_reply:
+                self._drop_tokens.add(token)
             self.requests += 1
             if obs_enabled():
                 self._m_requests.inc()
@@ -268,17 +403,24 @@ class WorkerHandle:
                 # The reader thread handles the respawn on EOF; this
                 # call just reports the crash.
                 self._pending.pop(token, None)
+                self._drop_tokens.discard(token)
                 self._m_crashed.inc()
                 return error_response(
                     pending.request_id,
                     "WorkerCrashed",
                     f"worker {self.index} is down; it is being restarted",
                 )
+            process = self.process
+        if kill_now and process is not None:
+            # After the send, so the worker dies with the request in its
+            # pipe or mid-dispatch — the scripted version of kill -9.
+            process.kill()
         return token
 
     def _timed_out(self, token: int, request_id, timeout) -> dict:
         with self._lock:
             self._pending.pop(token, None)
+            self._drop_tokens.discard(token)
         self._m_timeouts.inc()
         return error_response(
             request_id,
@@ -286,17 +428,24 @@ class WorkerHandle:
             f"worker {self.index} did not answer within {timeout}s",
         )
 
-    def call(self, message: dict, timeout: float | None = None) -> dict:
+    def call(
+        self,
+        message: dict,
+        timeout: float | None = None,
+        on_partial: Callable[[dict], None] | None = None,
+    ) -> dict:
         """Send one request to the worker and wait for its envelope.
 
         Never raises for worker failures: a dead worker yields a
         ``WorkerCrashed`` envelope (and a respawn), an unresponsive one a
         ``WorkerTimeout`` envelope — the connection is never left hung.
+        ``on_partial`` receives streamed partial frames (reader thread)
+        ahead of the returned terminating envelope.
         """
         if timeout is None:
             timeout = self.call_timeout
         request_id = message.get("id") if isinstance(message, dict) else None
-        pending = _Pending(request_id)
+        pending = _Pending(request_id, on_partial=on_partial)
         outcome = self._begin_call(message, pending)
         if isinstance(outcome, dict):
             return outcome
@@ -305,7 +454,12 @@ class WorkerHandle:
             return pending.envelope
         return self._timed_out(outcome, request_id, timeout)
 
-    async def call_async(self, message: dict, timeout: float | None = None) -> dict:
+    async def call_async(
+        self,
+        message: dict,
+        timeout: float | None = None,
+        on_partial: Callable[[dict], None] | None = None,
+    ) -> dict:
         """Awaitable twin of :meth:`call` for the asyncio gateway.
 
         The reader thread still does the waiting; completion is
@@ -330,7 +484,7 @@ class WorkerHandle:
                 pass  # the loop shut down before the worker answered
 
         request_id = message.get("id") if isinstance(message, dict) else None
-        pending = _Pending(request_id, callback=deliver)
+        pending = _Pending(request_id, callback=deliver, on_partial=on_partial)
         outcome = self._begin_call(message, pending)
         if isinstance(outcome, dict):
             return outcome
@@ -347,7 +501,23 @@ class WorkerHandle:
                 break
             except (ValueError, TypeError):
                 continue  # unframeable response; keep the worker alive
+            if isinstance(envelope, dict) and envelope.get("partial"):
+                # A streamed frame: route to the call's hook without
+                # completing it (the terminating envelope still comes).
+                with self._lock:
+                    pending = self._pending.get(token)
+                    dropped = token in self._drop_tokens
+                if pending is not None and not dropped:
+                    hook = pending.on_partial
+                    if hook is not None:
+                        hook(envelope)
+                continue
             with self._lock:
+                if token in self._drop_tokens:
+                    # Fault plan: discard the reply; the caller times out.
+                    self._drop_tokens.discard(token)
+                    self._pending.pop(token, None)
+                    continue
                 pending = self._pending.pop(token, None)
             if pending is not None:
                 pending.complete(envelope)
@@ -358,6 +528,7 @@ class WorkerHandle:
                 return
             stranded = list(self._pending.values())
             self._pending.clear()
+            self._drop_tokens.clear()
             self.restarts += 1
             self._spawn_locked()
         self._m_respawns.inc()
@@ -383,6 +554,7 @@ class WorkerHandle:
                 "requests": self.requests,
                 "restarts": self.restarts,
                 "in_flight": len(self._pending),
+                "draining": self.draining,
             }
 
 
@@ -414,35 +586,85 @@ class WorkerPool:
             )
         ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
+        self._ctx = ctx
+        self._catalog_factory = catalog_factory
+        self._config = config
+        self._max_sessions = max_sessions
+        self._ttl_seconds = ttl_seconds
+        self._call_timeout = call_timeout
+        self._closed = False
         self.workers = [
-            WorkerHandle(
-                index,
-                ctx,
-                catalog_factory=catalog_factory,
-                config=config,
-                max_sessions=max_sessions,
-                ttl_seconds=ttl_seconds,
-                call_timeout=call_timeout,
-            )
-            for index in range(n_workers)
+            self._make_worker(index) for index in range(n_workers)
         ]
+
+    def _make_worker(self, index: int) -> WorkerHandle:
+        return WorkerHandle(
+            index,
+            self._ctx,
+            catalog_factory=self._catalog_factory,
+            config=self._config,
+            max_sessions=self._max_sessions,
+            ttl_seconds=self._ttl_seconds,
+            call_timeout=self._call_timeout,
+        )
 
     def __len__(self) -> int:
         return len(self.workers)
 
-    def call(self, index: int, message: dict, timeout: float | None = None) -> dict:
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def resize(self, n_workers: int) -> None:
+        """Grow or shrink the pool to ``n_workers`` handles.
+
+        Growing spawns fresh workers at the next indexes; shrinking
+        closes the highest-indexed handles (worker identity is its list
+        position, so removal only ever happens at the tail). The router
+        drains and rebalances placements around this — the pool itself
+        just changes the process count.
+        """
+        if n_workers < 1:
+            raise ServiceError("n_workers must be >= 1")
+        if self._closed:
+            raise ServiceError("worker pool is closed")
+        while len(self.workers) < n_workers:
+            self.workers.append(self._make_worker(len(self.workers)))
+        if len(self.workers) > n_workers:
+            removed = self.workers[n_workers:]
+            del self.workers[n_workers:]
+            for worker in removed:
+                worker.request_close()
+            for worker in removed:
+                worker.reap()
+
+    def call(
+        self,
+        index: int,
+        message: dict,
+        timeout: float | None = None,
+        on_partial: Callable[[dict], None] | None = None,
+    ) -> dict:
         """One request to one worker; always returns an envelope."""
-        return self.workers[index].call(message, timeout=timeout)
+        return self.workers[index].call(
+            message, timeout=timeout, on_partial=on_partial
+        )
 
     def broadcast(self, message: dict) -> list[dict]:
         """The same request to every worker; envelopes in worker order."""
         return [worker.call(message) for worker in self.workers]
 
     async def call_async(
-        self, index: int, message: dict, timeout: float | None = None
+        self,
+        index: int,
+        message: dict,
+        timeout: float | None = None,
+        on_partial: Callable[[dict], None] | None = None,
     ) -> dict:
         """Awaitable :meth:`call` — parks a coroutine, not a thread."""
-        return await self.workers[index].call_async(message, timeout=timeout)
+        return await self.workers[index].call_async(
+            message, timeout=timeout, on_partial=on_partial
+        )
 
     async def broadcast_async(self, message: dict) -> list[dict]:
         """Concurrent :meth:`broadcast`; envelopes still in worker order."""
@@ -457,9 +679,18 @@ class WorkerPool:
         return [worker.stats() for worker in self.workers]
 
     def close(self) -> None:
-        """Shut every worker down."""
+        """Shut every worker down, two-phase.
+
+        Every handle latches its closed flag *before* any handle is
+        joined: a worker that crashes while an earlier sibling is being
+        reaped finds its own respawn guard already up, so pool close can
+        never leak a freshly respawned orphan process.
+        """
+        self._closed = True
         for worker in self.workers:
-            worker.close()
+            worker.request_close()
+        for worker in self.workers:
+            worker.reap()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -287,7 +287,7 @@ class TestRateLimiting:
 
 
 class TestRoutedAsyncGateway:
-    def test_routed_cycle_matches_and_streaming_degrades(self):
+    def test_routed_cycle_matches_and_streams(self):
         pytest.importorskip("multiprocessing")
         with AsyncDBWipesServer(
             port=0, workers=2, catalog_factory=routed_toy_catalog
@@ -299,11 +299,16 @@ class TestRoutedAsyncGateway:
                 assert pong["workers"] == 2
                 report = run_debug_cycle(c)
                 assert report["n_predicates"] >= 1
-                # Workers do not stream partials: debug_stream degrades
-                # gracefully to the terminating envelope only.
+                # Workers stream partial frames back over the pipe: the
+                # routed debug_stream behaves like the in-process one.
                 frames = list(c.debug_stream())
-                assert [f["partial"] for f in frames] == [False]
-                assert canonical(frames[0]["result"]) == canonical(c.debug())
+                partials = [f for f in frames if f["partial"]]
+                assert len(partials) >= 1
+                assert [f["seq"] for f in partials] == list(
+                    range(len(partials))
+                )
+                assert frames[-1]["partial"] is False
+                assert canonical(frames[-1]["result"]) == canonical(c.debug())
                 # Broadcast cheap commands merge across workers.
                 stats = c.stats()
                 assert stats["workers"] == 2
